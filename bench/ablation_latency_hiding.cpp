@@ -1,0 +1,57 @@
+// Ablation A1 — latency hiding: fix n, w, l and sweep the number of
+// warps.  Lemma 1 predicts T = Θ(n/w + nl/p + l): the nl/p term dominates
+// until p ≈ w*l, after which the pipeline saturates and extra warps stop
+// helping.  The measured crossover must sit at p/w ≈ l.
+#include <cstdlib>
+
+#include "alg/contiguous.hpp"
+#include "bench_common.hpp"
+
+namespace hmm {
+namespace {
+
+int run() {
+  bench::banner("Ablation A1 — latency hiding vs warp count",
+                "contiguous read of n = 2^18 words, w = 32, l = 64; "
+                "crossover predicted at p = w*l = 2048");
+
+  const std::int64_t n = 1 << 18, w = 32, l = 64;
+  Table t("sweep");
+  t.set_header({"p", "warps", "measured[tu]", "x vs p=32",
+                "regime (p/w vs l)"});
+  bool ok = true;
+  Cycle first = 0;
+  Cycle prev = 0;
+  Cycle saturated = 0;
+  for (std::int64_t p = 32; p <= 16384; p *= 4) {
+    Machine m = Machine::umm(w, l, p, n);
+    const auto r = alg::contiguous_read(m, MemorySpace::kGlobal, 0, n);
+    if (p == 32) first = r.makespan;
+    const std::string regime =
+        p / w < l ? "latency-bound" : "bandwidth-bound";
+    t.add_row({Table::cell(p), Table::cell(p / w), Table::cell(r.makespan),
+               Table::cell(static_cast<double>(first) /
+                               static_cast<double>(r.makespan), 1),
+               regime});
+    if (p / w <= l && prev != 0) {
+      // Below saturation, 4x the warps must buy nearly 4x the speed.
+      ok &= static_cast<double>(prev) / static_cast<double>(r.makespan) > 2.5;
+    }
+    if (p / w >= l) saturated = r.makespan;
+    prev = r.makespan;
+  }
+  t.print(std::cout);
+
+  // Past saturation the time must flatten near n/w + l - 1.
+  const Cycle floor_time = n / w + l - 1;
+  ok &= saturated <= floor_time + floor_time / 10;
+  std::printf("A1: %s (saturated time %lld vs pipeline floor %lld)\n",
+              ok ? "PASS" : "FAIL", static_cast<long long>(saturated),
+              static_cast<long long>(floor_time));
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main() { return hmm::run(); }

@@ -1,0 +1,69 @@
+// Shared helpers for the experiment binaries: consistent headers,
+// measured-vs-predicted rows, and shape summaries.
+//
+// Every binary in bench/ regenerates one table or figure of the paper
+// (see DESIGN.md §3) and prints both the raw rows and a PASS/FAIL shape
+// verdict, so `for b in build/bench/*; do $b; done` doubles as the
+// reproduction record.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/shape.hpp"
+#include "core/version.hpp"
+#include "report/table.hpp"
+
+namespace hmm::bench {
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << experiment << "   (hmm-sim " << kVersionString << ")\n"
+            << claim << "\n"
+            << "================================================================\n";
+}
+
+/// Collects (predicted, measured) pairs alongside a printable table and
+/// renders the shape verdict at the end.
+class ShapeExperiment {
+ public:
+  ShapeExperiment(std::string name, std::vector<std::string> param_headers)
+      : name_(std::move(name)), table_(name_) {
+    std::vector<std::string> header = std::move(param_headers);
+    header.insert(header.end(),
+                  {"measured[tu]", "predicted[tu]", "ratio"});
+    table_.set_header(std::move(header));
+  }
+
+  void add(std::vector<std::string> params, double measured,
+           double predicted) {
+    points_.push_back({predicted, measured});
+    params.push_back(Table::cell(static_cast<std::int64_t>(measured)));
+    params.push_back(Table::cell(predicted, 1));
+    params.push_back(Table::cell(measured / predicted, 3));
+    table_.add_row(std::move(params));
+  }
+
+  /// Prints the rows plus the Θ-band verdict; returns true when every
+  /// ratio lies inside [lo, hi].
+  bool finish(double lo, double hi) {
+    table_.print(std::cout);
+    const auto s = analysis::summarize_shape(points_);
+    const bool ok = analysis::within_band(points_, lo, hi);
+    std::printf(
+        "shape: %lld points, ratio geomean %.3f, min %.3f, max %.3f, "
+        "spread %.2fx, band [%.2f, %.2f] -> %s\n",
+        static_cast<long long>(s.points), s.ratio_geomean, s.ratio_min,
+        s.ratio_max, s.spread, lo, hi, ok ? "PASS" : "FAIL");
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  Table table_;
+  std::vector<analysis::ShapePoint> points_;
+};
+
+}  // namespace hmm::bench

@@ -1,0 +1,88 @@
+// Extension: dense matrix multiplication — the motivating GPU workload.
+// Measures the two levers the HMM formalises: data reuse through the
+// latency-1 shared memories (global traffic drops by the tile factor)
+// and d-fold compute.  Sweeps the tile size and the DMM count.
+#include <cstdlib>
+
+#include "alg/matmul.hpp"
+#include "alg/workload.hpp"
+#include "bench_common.hpp"
+
+namespace hmm {
+namespace {
+
+int run() {
+  bench::banner("Extension — tiled matrix multiplication on the HMM",
+                "C = A*B, r = 64, w = 32, l = 200: naive global kernel vs "
+                "shared-memory tiling");
+  bool ok = true;
+
+  const std::int64_t r = 64, w = 32, l = 200, pd = 128;
+  const auto a = alg::random_words(r * r, 1);
+  const auto b = alg::random_words(r * r, 2);
+  const auto want = alg::matmul_sequential(a, b, r).c;
+
+  const auto naive = alg::matmul_umm(a, b, r, 8 * pd, w, l);
+  ok &= naive.c == want;
+
+  {
+    Table t("tile-size sweep at d = 8 (reuse lever)");
+    t.set_header({"kernel", "tile", "global words", "time [tu]",
+                  "vs naive"});
+    t.add_row({"naive UMM", "-",
+               Table::cell(naive.report.global_pipeline.requests),
+               Table::cell(naive.report.makespan), "1.00"});
+    Cycle prev = 0;
+    for (std::int64_t tile : {8, 16, 32}) {
+      const auto tiled = alg::matmul_hmm_tiled(a, b, r, 8, pd, w, l, tile);
+      ok &= tiled.c == want;
+      const double speedup = static_cast<double>(naive.report.makespan) /
+                             static_cast<double>(tiled.report.makespan);
+      t.add_row({"tiled HMM", Table::cell(tile),
+                 Table::cell(tiled.report.global_pipeline.requests),
+                 Table::cell(tiled.report.makespan),
+                 Table::cell(speedup, 2)});
+      // Larger tiles reuse more: traffic must be 2r^3/tile + r^2 exactly.
+      ok &= tiled.report.global_pipeline.requests ==
+            2 * r * r * r / tile + r * r;
+      ok &= speedup > 1.0;
+      // Bigger tiles help only while there are at least d tiles to deal
+      // out; past that, DMMs idle (the tile=32 row shows the imbalance).
+      const bool enough_tiles = (r / tile) * (r / tile) >= 8;
+      if (prev != 0 && enough_tiles) ok &= tiled.report.makespan < prev;
+      prev = tiled.report.makespan;
+    }
+    t.print(std::cout);
+    std::printf("note: tile = 32 leaves only (64/32)^2 = 4 tiles for 8 DMMs "
+                "— reuse up, utilisation down; tile = 16 is the sweet "
+                "spot.\n");
+  }
+
+  {
+    Table t("DMM sweep at tile = 16 (compute lever)");
+    t.set_header({"d", "time [tu]", "x vs d=1"});
+    Cycle first = 0;
+    for (std::int64_t d : {1, 2, 4, 8, 16}) {
+      const auto tiled = alg::matmul_hmm_tiled(a, b, r, d, pd, w, l, 16);
+      ok &= tiled.c == want;
+      if (d == 1) first = tiled.report.makespan;
+      t.add_row({Table::cell(d), Table::cell(tiled.report.makespan),
+                 Table::cell(static_cast<double>(first) /
+                                 static_cast<double>(tiled.report.makespan),
+                             2)});
+    }
+    const auto d16 = alg::matmul_hmm_tiled(a, b, r, 16, pd, w, l, 16);
+    ok &= static_cast<double>(first) /
+              static_cast<double>(d16.report.makespan) >
+          4.0;  // strong scaling until the global pipeline binds
+    t.print(std::cout);
+  }
+
+  std::printf("ext_matmul: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main() { return hmm::run(); }

@@ -1,0 +1,81 @@
+// Extension: the prefix-sums result the paper builds on ([17]) —
+// O(n/w + nl/p + l log n) on the DMM/UMM and the Theorem-7-style
+// O(n/w + nl/p + l + log n) on the HMM, with the same HMM-wins headline.
+#include <cstdlib>
+
+#include "alg/prefix_sums.hpp"
+#include "alg/workload.hpp"
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+
+namespace hmm {
+namespace {
+
+int run() {
+  bench::banner("Extension — prefix sums ([17])",
+                "inclusive scan on DMM/UMM and HMM; same Θ-forms as the "
+                "sum (Table I), one extra constant for the two sweeps");
+  bool all_ok = true;
+
+  {
+    bench::ShapeExperiment e("UMM scan: T = Θ(n/w + nl/p + l log n)",
+                             {"n", "p", "l"});
+    for (std::int64_t n : {1 << 12, 1 << 16, 1 << 19}) {
+      for (std::int64_t p : {256, 2048}) {
+        for (std::int64_t l : {8, 128}) {
+          const auto xs = alg::random_words(n, 1);
+          const auto r = alg::prefix_sums_umm(xs, p, 32, l);
+          e.add({Table::cell(n), Table::cell(p), Table::cell(l)},
+                static_cast<double>(r.report.makespan),
+                analysis::sum_mm_time(n, p, 32, l));
+        }
+      }
+    }
+    all_ok &= e.finish(0.2, 16.0);
+  }
+
+  {
+    bench::ShapeExperiment e("HMM scan: T = Θ(n/w + nl/p + l + log n)",
+                             {"n", "d", "p", "l"});
+    for (std::int64_t n : {1 << 12, 1 << 16, 1 << 19}) {
+      for (std::int64_t d : {4, 16}) {
+        for (std::int64_t pd : {64, 256}) {
+          for (std::int64_t l : {64, 512}) {
+            const auto xs = alg::random_words(n, 2);
+            const auto r = alg::prefix_sums_hmm(xs, d, pd, 32, l);
+            e.add({Table::cell(n), Table::cell(d), Table::cell(d * pd),
+                   Table::cell(l)},
+                  static_cast<double>(r.report.makespan),
+                  analysis::sum_hmm_time(n, d * pd, 32, l, d));
+          }
+        }
+      }
+    }
+    all_ok &= e.finish(0.2, 20.0);
+  }
+
+  {
+    Table t("Headline: UMM vs HMM scan (n = 2^18, l = 512)");
+    t.set_header({"model", "measured[tu]", "vs HMM"});
+    const std::int64_t n = 1 << 18, w = 32, l = 512, d = 16, pd = 256;
+    const auto xs = alg::random_words(n, 3);
+    const auto umm = alg::prefix_sums_umm(xs, d * pd, w, l);
+    const auto hmm = alg::prefix_sums_hmm(xs, d, pd, w, l);
+    const double speedup = static_cast<double>(umm.report.makespan) /
+                           static_cast<double>(hmm.report.makespan);
+    t.add_row({"UMM", Table::cell(umm.report.makespan),
+               Table::cell(speedup, 2)});
+    t.add_row({"HMM", Table::cell(hmm.report.makespan), "1.00"});
+    t.print(std::cout);
+    all_ok &= umm.prefix == hmm.prefix && speedup > 1.0;
+    std::printf("headline: %s (HMM wins by %.2fx)\n",
+                speedup > 1.0 ? "PASS" : "FAIL", speedup);
+  }
+
+  return all_ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main() { return hmm::run(); }

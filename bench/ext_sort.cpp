@@ -1,0 +1,70 @@
+// Extension: bitonic sort — the era-defining GPU sorting network under
+// the model's lens.  Criteria: the UMM time tracks
+// Θ((n/w + nl/p + l) log^2 n); the hybrid HMM keeps only the O(log^2 d)
+// cross-block stages on global memory and wins accordingly.
+#include <cstdlib>
+
+#include "alg/sort.hpp"
+#include "alg/workload.hpp"
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+
+namespace hmm {
+namespace {
+
+double log2d(std::int64_t x) { return analysis::log2_levels(x); }
+
+int run() {
+  bench::banner("Extension — bitonic sort",
+                "oblivious network; every stage is a contiguous-run "
+                "access (Theorem 2)");
+  bool ok = true;
+
+  {
+    bench::ShapeExperiment e(
+        "UMM: T = Θ((n/w + nl/p + l) log^2 n)", {"n", "p", "l"});
+    for (std::int64_t n : {1 << 10, 1 << 13, 1 << 16}) {
+      for (std::int64_t p : {256, 2048}) {
+        for (std::int64_t l : {8, 128}) {
+          const auto xs = alg::random_words(n, 1);
+          const auto r = alg::sort_umm(xs, p, 32, l);
+          const double stages = log2d(n) * (log2d(n) + 1) / 2;
+          const double predicted =
+              stages * analysis::contiguous_access_time(n, p, 32, l);
+          e.add({Table::cell(n), Table::cell(p), Table::cell(l)},
+                static_cast<double>(r.report.makespan), predicted);
+        }
+      }
+    }
+    ok &= e.finish(0.3, 10.0);
+  }
+
+  {
+    Table t("hybrid HMM vs flat UMM (n = 2^15, w = 32, l = 400)");
+    t.set_header({"d", "global stages", "time [tu]", "vs UMM"});
+    const std::int64_t n = 1 << 15, w = 32, l = 400, pd = 128;
+    const auto xs = alg::random_words(n, 2);
+    const auto flat = alg::sort_umm(xs, 1024, w, l);
+    t.add_row({"UMM", Table::cell(flat.report.global_pipeline.stages),
+               Table::cell(flat.report.makespan), "1.00"});
+    for (std::int64_t d : {4, 8, 16}) {
+      const auto hy = alg::sort_hmm(xs, d, pd, w, l);
+      ok &= hy.sorted == flat.sorted;
+      const double speedup = static_cast<double>(flat.report.makespan) /
+                             static_cast<double>(hy.report.makespan);
+      t.add_row({Table::cell(d),
+                 Table::cell(hy.report.global_pipeline.stages),
+                 Table::cell(hy.report.makespan), Table::cell(speedup, 2)});
+      ok &= speedup > 1.5;
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("ext_sort: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main() { return hmm::run(); }

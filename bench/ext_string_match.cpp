@@ -1,0 +1,109 @@
+// Extension: approximate string matching ([18]) — the anti-diagonal
+// wavefront pays the global latency on every one of its n + m steps on a
+// flat UMM, but runs at latency 1 inside the HMM's shared memories.
+// Criteria: (n+m)·l dominates the UMM's time; the HMM removes it; both
+// agree with the sequential oracle.
+#include <cstdlib>
+
+#include "alg/string_match.hpp"
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+
+namespace hmm {
+namespace {
+
+std::vector<Word> random_string(std::int64_t len, std::uint64_t seed,
+                                std::int64_t alphabet) {
+  Rng rng(seed);
+  std::vector<Word> s;
+  s.reserve(static_cast<std::size_t>(len));
+  for (std::int64_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<Word>(
+        rng.next_below(static_cast<std::uint64_t>(alphabet))));
+  }
+  return s;
+}
+
+int run() {
+  bench::banner("Extension — approximate string matching ([18])",
+                "semi-global edit distance, wavefront DP; m = 16, "
+                "alphabet 4 (DNA-like)");
+  bool ok = true;
+
+  const std::int64_t m = 16, w = 32, d = 8, pd = 64;
+  const auto pat = random_string(m, 1, 4);
+
+  {
+    bench::ShapeExperiment e("UMM wavefront: T = Θ(mn/w + mnl/p + (n+m)l)",
+                             {"n", "l"});
+    for (std::int64_t n : {512, 2048}) {
+      for (std::int64_t l : {8, 64}) {
+        const auto txt = random_string(n, 2, 4);
+        const auto r = alg::string_match_umm(pat, txt, 512, w, l);
+        // Each DP cell costs 7 ops (5 dependent reads + min + write),
+        // and a diagonal's reads serialise per thread: ~6 latencies per
+        // wavefront step.
+        const double predicted =
+            7.0 * static_cast<double>(m) * static_cast<double>(n) / w +
+            5.0 * static_cast<double>(m * n * l) / 512.0 +
+            6.0 * static_cast<double>(n + m) * static_cast<double>(l);
+        e.add({Table::cell(n), Table::cell(l)},
+              static_cast<double>(r.report.makespan), predicted);
+      }
+    }
+    ok &= e.finish(0.3, 6.0);
+  }
+
+  {
+    bench::ShapeExperiment e(
+        "HMM wavefront: T = Θ(n/w + nl/p + (n/d + m) + l)", {"n", "l"});
+    for (std::int64_t n : {512, 2048, 8192}) {
+      for (std::int64_t l : {64, 400}) {
+        const auto txt = random_string(n, 3, 4);
+        const auto r = alg::string_match_hmm(pat, txt, d, pd, w, l);
+        // Wavefront at latency 1: ~7 cycles per diagonal step over
+        // n/d + 3m diagonals, plus staging and the carry of l once.
+        const double predicted =
+            7.0 * (static_cast<double>(n / d) + 3.0 * static_cast<double>(m)) +
+            7.0 * static_cast<double>(m) *
+                (static_cast<double>(n / d) + 3.0 * static_cast<double>(m)) /
+                static_cast<double>(w) +
+            2.0 * static_cast<double>(n) / w +
+            2.0 * static_cast<double>(n) * static_cast<double>(l) /
+                static_cast<double>(d * pd) +
+            static_cast<double>(l);
+        e.add({Table::cell(n), Table::cell(l)},
+              static_cast<double>(r.report.makespan), predicted);
+      }
+    }
+    ok &= e.finish(0.3, 8.0);
+  }
+
+  {
+    Table t("Headline: UMM vs HMM at l = 400 (GTX580-like)");
+    t.set_header({"n", "UMM [tu]", "HMM [tu]", "speedup"});
+    const std::int64_t l = 400;
+    for (std::int64_t n : {2048, 8192}) {
+      const auto txt = random_string(n, 4, 4);
+      const auto umm = alg::string_match_umm(pat, txt, d * pd, w, l);
+      const auto hmm = alg::string_match_hmm(pat, txt, d, pd, w, l);
+      ok &= umm.distance == hmm.distance;
+      const auto seq = alg::string_match_sequential(pat, txt);
+      ok &= seq.distance == hmm.distance;
+      const double speedup = static_cast<double>(umm.report.makespan) /
+                             static_cast<double>(hmm.report.makespan);
+      t.add_row({Table::cell(n), Table::cell(umm.report.makespan),
+                 Table::cell(hmm.report.makespan), Table::cell(speedup, 2)});
+      ok &= speedup > 2.0;
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("ext_string_match: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main() { return hmm::run(); }

@@ -1,0 +1,81 @@
+// Fig. 5: the pairwise summing tree for n = 16 — regenerated as the
+// per-level array states of the PRAM algorithm of §V, followed by the
+// level-count check log2(n) on a sweep.
+#include <cstdlib>
+#include <iostream>
+
+#include "alg/workload.hpp"
+#include "bench_common.hpp"
+#include "core/mathutil.hpp"
+#include "machine/pram.hpp"
+
+namespace hmm {
+namespace {
+
+int run() {
+  bench::banner("Fig. 5 — the pairwise summing tree (n = 16)",
+                "for t = log n - 1 .. 0: a[i] += a[i + 2^t] in parallel");
+
+  const std::int64_t n = 16;
+  Pram pram(/*processors=*/8, /*memory=*/n);
+  pram.load(0, alg::iota_words(n, 1));  // 1..16, total 136
+
+  Table t("array state per level");
+  std::vector<std::string> header{"level"};
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::string h = "a";
+    h += std::to_string(i);
+    header.push_back(std::move(h));
+  }
+  t.set_header(std::move(header));
+
+  auto snapshot = [&](const std::string& label) {
+    std::vector<std::string> row{label};
+    for (Address i = 0; i < n; ++i) row.push_back(Table::cell(pram.peek(i)));
+    t.add_row(std::move(row));
+  };
+
+  snapshot("input");
+  std::int64_t levels = 0;
+  for (std::int64_t half = n / 2; half >= 1; half /= 2) {
+    pram.parallel_step(half, [&](std::int64_t i, PramAccess& a) {
+      a.write(i, a.read(i) + a.read(i + half));
+    });
+    ++levels;
+    snapshot("t=" + std::to_string(levels));
+  }
+  t.print(std::cout);
+
+  bool ok = pram.peek(0) == 136 && levels == 4;
+
+  // Level-count sweep: the tree has exactly ceil(log2 n) levels.
+  Table sweep("tree depth = ceil(log2 n)");
+  sweep.set_header({"n", "levels", "ceil(log2 n)"});
+  for (std::int64_t nn : {2, 16, 100, 1024, 65536}) {
+    Pram p2(64, nn);
+    p2.load(0, alg::iota_words(nn, 1));
+    std::int64_t lv = 0;
+    std::int64_t s = nn;
+    while (s > 1) {
+      const std::int64_t half = ceil_div(s, 2);
+      p2.parallel_step(s - half, [&](std::int64_t i, PramAccess& a) {
+        a.write(i, a.read(i) + a.read(half + i));
+      });
+      s = half;
+      ++lv;
+    }
+    sweep.add_row({Table::cell(nn), Table::cell(lv),
+                   Table::cell(ilog2_ceil(nn))});
+    ok &= lv == ilog2_ceil(nn);
+    ok &= p2.peek(0) == nn * (nn + 1) / 2;
+  }
+  sweep.print(std::cout);
+
+  std::printf("fig5: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main() { return hmm::run(); }

@@ -1,0 +1,86 @@
+// google-benchmark microbenchmarks of the simulator itself: how many
+// simulated memory operations per second the engine sustains, across the
+// features that dominate real workloads (pipelined reads, barriers,
+// nested subroutines, HMM staging).  These guard against performance
+// regressions in the engine, not against the paper.
+#include <benchmark/benchmark.h>
+
+#include "alg/contiguous.hpp"
+#include "alg/device.hpp"
+#include "alg/sum.hpp"
+#include "alg/workload.hpp"
+#include "machine/machine.hpp"
+
+namespace hmm {
+namespace {
+
+void BM_ContiguousRead(benchmark::State& state) {
+  const std::int64_t n = state.range(0), p = 1024, w = 32, l = 64;
+  Machine m = Machine::umm(w, l, p, n);
+  for (auto _ : state) {
+    const auto r = alg::contiguous_read(m, MemorySpace::kGlobal, 0, n);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ContiguousRead)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_TreeSumDmm(benchmark::State& state) {
+  const std::int64_t n = state.range(0), p = 512, w = 32;
+  const auto xs = alg::random_words(n, 1);
+  for (auto _ : state) {
+    const auto r = alg::sum_dmm(xs, p, w, 2);
+    benchmark::DoNotOptimize(r.sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TreeSumDmm)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_HmmSum(benchmark::State& state) {
+  const std::int64_t n = state.range(0), d = 16, pd = 128, w = 32, l = 400;
+  const auto xs = alg::random_words(n, 2);
+  for (auto _ : state) {
+    const auto r = alg::sum_hmm(xs, d, pd, w, l);
+    benchmark::DoNotOptimize(r.sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HmmSum)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_BarrierRound(benchmark::State& state) {
+  // Barrier-heavy kernel: warps ping-pong through barriers.
+  const std::int64_t p = state.range(0);
+  Machine m = Machine::dmm(32, 1, p, 64);
+  for (auto _ : state) {
+    const auto r = m.run([](ThreadCtx& t) -> SimTask {
+      for (int i = 0; i < 32; ++i) co_await t.barrier();
+    });
+    benchmark::DoNotOptimize(r.barrier_releases);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_BarrierRound)->Arg(256)->Arg(2048);
+
+void BM_NestedSubtasks(benchmark::State& state) {
+  // Deeply nested device subroutines: the symmetric-transfer overhead.
+  struct Helpers {
+    static SubTask leaf(ThreadCtx& t) { co_await t.compute(); }
+    static SubTask mid(ThreadCtx& t) {
+      for (int i = 0; i < 4; ++i) co_await leaf(t);
+    }
+  };
+  Machine m = Machine::dmm(32, 1, 256, 64);
+  for (auto _ : state) {
+    const auto r = m.run([](ThreadCtx& t) -> SimTask {
+      for (int i = 0; i < 8; ++i) co_await Helpers::mid(t);
+    });
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 32);
+}
+BENCHMARK(BM_NestedSubtasks);
+
+}  // namespace
+}  // namespace hmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Table I (sum row): regenerates the computing-time column for every
+// model — Sequential O(n), PRAM O(n/p + log n), DMM/UMM
+// O(n/w + nl/p + l log n), HMM O(n/w + nl/p + l + log n) — by measuring
+// the simulator and dividing by the closed forms.  The reproduction
+// criterion is the Θ-band (constant ratio across the whole sweep), plus
+// the paper's headline comparison: the HMM beats the single memory
+// machine once l log n matters.
+#include <cstdlib>
+
+#include "alg/sum.hpp"
+#include "alg/workload.hpp"
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+
+namespace hmm {
+namespace {
+
+int run() {
+  bench::banner("Table I — the sum",
+                "Sum of n numbers on Sequential / PRAM / DMM / UMM / HMM");
+  bool all_ok = true;
+
+  {
+    bench::ShapeExperiment e("Sequential: T = Θ(n)", {"n"});
+    for (std::int64_t n : {1 << 10, 1 << 14, 1 << 18}) {
+      const auto xs = alg::random_words(n, 1);
+      const auto r = alg::sum_sequential(xs);
+      e.add({Table::cell(n)}, static_cast<double>(r.time),
+            analysis::sum_sequential_time(n));
+    }
+    all_ok &= e.finish(0.5, 4.0);
+  }
+
+  {
+    bench::ShapeExperiment e("PRAM: T = Θ(n/p + log n)", {"n", "p"});
+    for (std::int64_t n : {1 << 12, 1 << 16, 1 << 20}) {
+      for (std::int64_t p : {64, 1024, 8192}) {
+        const auto xs = alg::random_words(n, 2);
+        const auto r = alg::sum_pram(xs, p);
+        e.add({Table::cell(n), Table::cell(p)}, static_cast<double>(r.time),
+              analysis::sum_pram_time(n, p));
+      }
+    }
+    all_ok &= e.finish(0.2, 6.0);
+  }
+
+  {
+    bench::ShapeExperiment e("DMM (Lemma 5): T = Θ(n/w + nl/p + l log n)",
+                             {"n", "p", "w", "l"});
+    for (std::int64_t n : {1 << 12, 1 << 16, 1 << 20}) {
+      for (std::int64_t p : {256, 2048}) {
+        for (std::int64_t l : {1, 32}) {
+          const auto xs = alg::random_words(n, 3);
+          const auto r = alg::sum_dmm(xs, p, 32, l);
+          e.add({Table::cell(n), Table::cell(p), Table::cell(std::int64_t{32}),
+                 Table::cell(l)},
+                static_cast<double>(r.report.makespan),
+                analysis::sum_mm_time(n, p, 32, l));
+        }
+      }
+    }
+    all_ok &= e.finish(0.2, 8.0);
+  }
+
+  {
+    bench::ShapeExperiment e("UMM (Lemma 5): T = Θ(n/w + nl/p + l log n)",
+                             {"n", "p", "w", "l"});
+    for (std::int64_t n : {1 << 12, 1 << 16, 1 << 20}) {
+      for (std::int64_t p : {256, 2048}) {
+        for (std::int64_t l : {8, 128, 512}) {
+          const auto xs = alg::random_words(n, 4);
+          const auto r = alg::sum_umm(xs, p, 32, l);
+          e.add({Table::cell(n), Table::cell(p), Table::cell(std::int64_t{32}),
+                 Table::cell(l)},
+                static_cast<double>(r.report.makespan),
+                analysis::sum_mm_time(n, p, 32, l));
+        }
+      }
+    }
+    all_ok &= e.finish(0.2, 8.0);
+  }
+
+  {
+    bench::ShapeExperiment e(
+        "HMM (Theorem 7): T = Θ(n/w + nl/p + l + log n)",
+        {"n", "d", "p", "w", "l"});
+    for (std::int64_t n : {1 << 12, 1 << 16, 1 << 20}) {
+      for (std::int64_t d : {4, 16}) {
+        for (std::int64_t pd : {64, 256}) {
+          for (std::int64_t l : {32, 512}) {
+            const auto xs = alg::random_words(n, 5);
+            const auto r = alg::sum_hmm(xs, d, pd, 32, l);
+            e.add({Table::cell(n), Table::cell(d), Table::cell(d * pd),
+                   Table::cell(std::int64_t{32}), Table::cell(l)},
+                  static_cast<double>(r.report.makespan),
+                  analysis::sum_hmm_time(n, d * pd, 32, l, d));
+          }
+        }
+      }
+    }
+    all_ok &= e.finish(0.2, 8.0);
+  }
+
+  // The headline crossover: at GPU-like latency the HMM's l + log n beats
+  // the single machine's l log n at equal p, w, l.
+  {
+    Table t("Headline: DMM/UMM vs HMM at equal p, w, l (n = 2^18, l = 512)");
+    t.set_header({"model", "measured[tu]", "vs HMM"});
+    const std::int64_t n = 1 << 18, w = 32, l = 512, d = 16, pd = 256;
+    const auto xs = alg::random_words(n, 6);
+    const auto umm = alg::sum_umm(xs, d * pd, w, l);
+    const auto hmm = alg::sum_hmm(xs, d, pd, w, l);
+    t.add_row({"UMM (Lemma 5)", Table::cell(umm.report.makespan),
+               Table::cell(static_cast<double>(umm.report.makespan) /
+                               static_cast<double>(hmm.report.makespan),
+                           2)});
+    t.add_row({"HMM (Theorem 7)", Table::cell(hmm.report.makespan), "1.00"});
+    t.print(std::cout);
+    if (umm.report.makespan <= hmm.report.makespan) {
+      std::printf("headline: FAIL (HMM did not win)\n");
+      all_ok = false;
+    } else {
+      std::printf("headline: PASS (HMM wins by %.2fx)\n",
+                  static_cast<double>(umm.report.makespan) /
+                      static_cast<double>(hmm.report.makespan));
+    }
+  }
+
+  return all_ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main() { return hmm::run(); }

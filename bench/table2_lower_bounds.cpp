@@ -1,0 +1,99 @@
+// Table II: the lower-bound "limitations" — speed-up, bandwidth, latency
+// and reduction — for the sum and the direct convolution on every model.
+//
+// Reproduction criteria:
+//  (1) validity:    every measured time >= (1 - eps) * max(limitations)
+//                   — the bounds really are lower bounds for the
+//                   simulator's executions;
+//  (2) optimality:  measured time <= C * sum(limitations) for a modest C
+//                   — the paper's algorithms meet their bounds, which is
+//                   exactly the optimality claim of Theorems 7-9.
+#include <cstdlib>
+
+#include "alg/convolution.hpp"
+#include "alg/sum.hpp"
+#include "alg/workload.hpp"
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+
+namespace hmm {
+namespace {
+
+struct Verdict {
+  bool ok = true;
+  void check(const std::string& what, double measured,
+             const analysis::Limitations& lim, double opt_factor) {
+    const bool valid = measured >= 0.999 * lim.max_term();
+    const bool optimal = measured <= opt_factor * lim.total();
+    std::printf(
+        "  %-34s T=%10.0f | speedup %9.1f bandwidth %8.1f latency %9.1f "
+        "reduction %7.1f | T/max=%5.2f T/sum=%5.2f %s%s\n",
+        what.c_str(), measured, lim.speedup, lim.bandwidth, lim.latency,
+        lim.reduction, measured / lim.max_term(), measured / lim.total(),
+        valid ? "" : "INVALID-BOUND ", optimal ? "" : "NOT-OPTIMAL");
+    ok = ok && valid && optimal;
+  }
+};
+
+int run() {
+  bench::banner("Table II — lower bounds",
+                "speed-up / bandwidth / latency / reduction limitations; "
+                "measured in [max(lims), C*sum(lims)]");
+  Verdict v;
+
+  std::printf("\nSum (n = 2^16 .. 2^18):\n");
+  for (std::int64_t n : {1 << 16, 1 << 18}) {
+    const auto xs = alg::random_words(n, 1);
+    {
+      const auto r = alg::sum_pram(xs, 1024);
+      v.check("PRAM p=1024", static_cast<double>(r.time),
+              analysis::sum_pram_bounds(n, 1024), 4.0);
+    }
+    for (std::int64_t l : {8, 256}) {
+      const auto r = alg::sum_umm(xs, 2048, 32, l);
+      v.check("UMM p=2048 w=32 l=" + std::to_string(l),
+              static_cast<double>(r.report.makespan),
+              analysis::sum_mm_bounds(n, 2048, 32, l), 8.0);
+    }
+    {
+      const std::int64_t d = 16, pd = 128, l = 256;
+      const auto r = alg::sum_hmm(xs, d, pd, 32, l);
+      v.check("HMM d=16 p=2048 w=32 l=256",
+              static_cast<double>(r.report.makespan),
+              analysis::sum_hmm_bounds(n, d * pd, 32, l, d), 8.0);
+    }
+  }
+
+  std::printf("\nDirect convolution (m = 32, n = 2^13 .. 2^14):\n");
+  for (std::int64_t n : {1 << 13, 1 << 14}) {
+    const std::int64_t m = 32;
+    const auto a = alg::random_words(m, 2);
+    const auto x = alg::random_words(alg::conv_signal_length(m, n), 3);
+    {
+      const auto r = alg::convolution_pram(a, x, 1024);
+      v.check("PRAM p=1024", static_cast<double>(r.time),
+              analysis::conv_pram_bounds(m, n, 1024), 4.0);
+    }
+    for (std::int64_t l : {8, 128}) {
+      const auto r = alg::convolution_umm(a, x, 2048, 32, l);
+      v.check("UMM p=2048 w=32 l=" + std::to_string(l),
+              static_cast<double>(r.report.makespan),
+              analysis::conv_mm_bounds(m, n, 2048, 32, l), 8.0);
+    }
+    {
+      const std::int64_t d = 8, pd = 256, l = 128;
+      const auto r = alg::convolution_hmm(a, x, d, pd, 32, l);
+      v.check("HMM d=8 p=2048 w=32 l=128",
+              static_cast<double>(r.report.makespan),
+              analysis::conv_hmm_bounds(m, n, d * pd, 32, l, d), 8.0);
+    }
+  }
+
+  std::printf("\nTable II verdict: %s\n", v.ok ? "PASS" : "FAIL");
+  return v.ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main() { return hmm::run(); }

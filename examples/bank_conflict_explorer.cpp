@@ -1,0 +1,86 @@
+// Domain example 3: an access-pattern profiler — paste a stride/width
+// and see what a warp access costs on the DMM and the UMM, exactly the
+// question CUDA developers answer with the occupancy calculator and
+// profiler counters.
+//
+//   ./examples/bank_conflict_explorer [width] [stride] [offset]
+//
+// defaults: width 32, stride 2, offset 0.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "machine/machine.hpp"
+#include "mm/batch_cost.hpp"
+#include "report/table.hpp"
+
+using namespace hmm;
+
+int main(int argc, char** argv) {
+  const std::int64_t width = argc > 1 ? std::atoll(argv[1]) : 32;
+  const std::int64_t stride = argc > 2 ? std::atoll(argv[2]) : 2;
+  const std::int64_t offset = argc > 3 ? std::atoll(argv[3]) : 0;
+  if (width < 1 || stride < 1 || offset < 0) {
+    std::printf("usage: %s [width>=1] [stride>=1] [offset>=0]\n", argv[0]);
+    return 2;
+  }
+
+  // The warp access under scrutiny: lane i touches offset + i*stride.
+  const MemoryGeometry geom(width);
+  WarpBatch batch;
+  for (std::int64_t lane = 0; lane < width; ++lane) {
+    batch.push_back(Request{.lane = lane, .kind = AccessKind::kRead,
+                            .address = offset + lane * stride, .value = 0});
+  }
+  const BatchProfile prof = profile_batch(geom, batch);
+
+  std::printf("warp access: lane i -> address %lld + i*%lld   (w = %lld)\n\n",
+              static_cast<long long>(offset), static_cast<long long>(stride),
+              static_cast<long long>(width));
+
+  Table t("what the MMU sees");
+  t.set_header({"metric", "value", "meaning"});
+  t.add_row({"distinct addresses", Table::cell(prof.distinct_addresses),
+             "after same-address merging"});
+  t.add_row({"banks touched", Table::cell(prof.touched_banks),
+             "DMM spread"});
+  t.add_row({"DMM stages", Table::cell(prof.dmm_stages),
+             "max requests on one bank (bank conflicts)"});
+  t.add_row({"hottest bank", Table::cell(prof.hottest_bank),
+             "the serialising bank"});
+  t.add_row({"address groups", Table::cell(prof.umm_stages),
+             "UMM stages (coalescing)"});
+  t.print(std::cout);
+
+  // And the end-to-end effect on a real loop, with latency 32.
+  const std::int64_t rounds = 64, l = 32;
+  const std::int64_t span = offset + (rounds * width) * stride + width;
+  Machine dmm = Machine::dmm(width, l, width, span);
+  Machine umm = Machine::umm(width, l, width, span);
+  auto kernel = [&](MemorySpace space) {
+    return [=](ThreadCtx& tc) -> SimTask {
+      for (std::int64_t r = 0; r < rounds; ++r) {
+        co_await tc.read(space,
+                         offset + (r * tc.width() + tc.thread_id()) * stride);
+      }
+    };
+  };
+  const auto rd = dmm.run(kernel(MemorySpace::kShared));
+  const auto ru = umm.run(kernel(MemorySpace::kGlobal));
+
+  Table t2("64 rounds of this pattern, one warp, l = 32");
+  t2.set_header({"machine", "time units", "vs stride 1"});
+  // Stride-1 reference: one stage per round.
+  const Cycle ref = rounds * l;  // single warp: every round pays l
+  t2.add_row({"DMM", Table::cell(rd.makespan),
+              Table::cell(static_cast<double>(rd.makespan) /
+                              static_cast<double>(ref), 2)});
+  t2.add_row({"UMM", Table::cell(ru.makespan),
+              Table::cell(static_cast<double>(ru.makespan) /
+                              static_cast<double>(ref), 2)});
+  t2.print(std::cout);
+
+  std::printf("\nrule of thumb: keep DMM stages at 1 (pad shared arrays) "
+              "and address groups at 1 (access consecutive cells).\n");
+  return 0;
+}

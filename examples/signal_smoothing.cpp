@@ -1,0 +1,83 @@
+// Domain example 1: smoothing a noisy sensor trace with a box filter —
+// the moving-average convolution that motivates the paper's direct-
+// convolution study (small m, large n).
+//
+// Runs the same workload on the flat UMM view and on the HMM and prints
+// the smoothed trace plus the model comparison.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "alg/convolution.hpp"
+#include "alg/workload.hpp"
+#include "core/rng.hpp"
+#include "report/table.hpp"
+
+using namespace hmm;
+
+namespace {
+
+/// A noisy ramp: clean signal i/8 plus uniform noise in [-6, 6].
+std::vector<Word> noisy_trace(std::int64_t len) {
+  Rng rng(2013);  // the paper's year, reproducibly
+  std::vector<Word> xs;
+  xs.reserve(static_cast<std::size_t>(len));
+  for (std::int64_t i = 0; i < len; ++i) {
+    xs.push_back(i / 8 + rng.next_in(-6, 6));
+  }
+  return xs;
+}
+
+double roughness(const std::vector<Word>& xs) {
+  double acc = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    acc += std::abs(static_cast<double>(xs[i] - xs[i - 1]));
+  }
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t m = 16, n = 4096;
+  const auto a = alg::box_filter(m);  // moving-window sum of 16 samples
+  const auto x = noisy_trace(alg::conv_signal_length(m, n));
+
+  // GPU-ish operating point.
+  const std::int64_t d = 8, pd = 128, w = 32, l = 200;
+
+  const auto on_umm = alg::convolution_umm(a, x, d * pd, w, l);
+  const auto on_hmm = alg::convolution_hmm(a, x, d, pd, w, l);
+  if (on_umm.z != on_hmm.z) {
+    std::printf("ERROR: models disagree\n");
+    return 1;
+  }
+
+  // The box filter divides by m conceptually; do it host-side.
+  std::vector<Word> smoothed;
+  smoothed.reserve(on_hmm.z.size());
+  for (Word v : on_hmm.z) smoothed.push_back(v / m);
+
+  std::printf("input roughness  : %.2f (mean |x[i+1]-x[i]|)\n",
+              roughness({x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n)}));
+  std::printf("output roughness : %.2f after the 16-tap moving average\n\n",
+              roughness(smoothed));
+
+  Table t("the same convolution, two machine views");
+  t.set_header({"machine", "time units", "speedup"});
+  const double speedup = static_cast<double>(on_umm.report.makespan) /
+                         static_cast<double>(on_hmm.report.makespan);
+  t.add_row({"UMM (global memory only)", Table::cell(on_umm.report.makespan),
+             "1.00"});
+  t.add_row({"HMM (staged into shared)", Table::cell(on_hmm.report.makespan),
+             Table::cell(speedup, 2)});
+  t.print(std::cout);
+
+  std::printf("\nTrace excerpt (raw -> smoothed):\n");
+  for (std::int64_t i = 1024; i < 1032; ++i) {
+    std::printf("  x[%lld] = %4lld   ->   %4lld\n", static_cast<long long>(i),
+                static_cast<long long>(x[static_cast<std::size_t>(i)]),
+                static_cast<long long>(smoothed[static_cast<std::size_t>(i)]));
+  }
+  return speedup > 1.0 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Full reproduction pipeline: build, test, regenerate every table and
+# figure, and record the outputs next to this script.
+#
+#   ./reproduce.sh [build-dir]
+set -eu
+
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+echo "== experiments (tables, figures, ablations, extensions) =="
+# The loop writes its verdict to a file because the pipe into tee runs
+# it in a subshell.
+: > .repro_status
+{
+  for b in "$BUILD"/bench/*; do
+    "$b" || echo "$b" >> .repro_status
+  done
+} 2>&1 | tee bench_output.txt
+
+if [ -s .repro_status ]; then
+  echo "REPRODUCTION FAILED for:"
+  cat .repro_status
+  rm -f .repro_status
+  exit 1
+fi
+rm -f .repro_status
+echo "REPRODUCTION OK: every experiment met its criterion"

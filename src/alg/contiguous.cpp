@@ -1,0 +1,40 @@
+#include "alg/contiguous.hpp"
+
+#include "alg/device.hpp"
+#include "core/error.hpp"
+
+namespace hmm::alg {
+
+RunReport contiguous_read(Machine& machine, MemorySpace space, Address base,
+                          std::int64_t n) {
+  HMM_REQUIRE(n >= 1, "contiguous_read: n must be >= 1");
+  const std::int64_t p = machine.num_threads();
+  return machine.run([&](ThreadCtx& t) -> SimTask {
+    co_await device_contiguous_read(t, space, base, n, t.thread_id(), p);
+  });
+}
+
+RunReport contiguous_write(Machine& machine, MemorySpace space, Address base,
+                           std::int64_t n, Word value) {
+  HMM_REQUIRE(n >= 1, "contiguous_write: n must be >= 1");
+  const std::int64_t p = machine.num_threads();
+  return machine.run([&](ThreadCtx& t) -> SimTask {
+    for (Address i = t.thread_id(); i < n; i += p) {
+      co_await t.write(space, base + i, value + i);
+    }
+  });
+}
+
+RunReport contiguous_read_arrays(
+    Machine& machine, MemorySpace space,
+    const std::vector<std::pair<Address, std::int64_t>>& arrays) {
+  HMM_REQUIRE(!arrays.empty(), "contiguous_read_arrays: need >= 1 array");
+  const std::int64_t p = machine.num_threads();
+  return machine.run([&](ThreadCtx& t) -> SimTask {
+    for (const auto& [base, len] : arrays) {
+      co_await device_contiguous_read(t, space, base, len, t.thread_id(), p);
+    }
+  });
+}
+
+}  // namespace hmm::alg

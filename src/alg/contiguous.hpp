@@ -1,0 +1,28 @@
+// Host-side drivers for the contiguous memory access of §IV (Lemma 1 and
+// Theorem 2) — the measurement primitives behind every other bound.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "machine/machine.hpp"
+
+namespace hmm::alg {
+
+/// Lemma 1: p threads read A[base .. base+n) with the round-robin layout
+/// (round j, thread i touches A[j*p + i]).  Returns the timing report.
+RunReport contiguous_read(Machine& machine, MemorySpace space, Address base,
+                          std::int64_t n);
+
+/// Lemma 1, write flavour: thread i writes `value + index` to each cell.
+RunReport contiguous_write(Machine& machine, MemorySpace space, Address base,
+                           std::int64_t n, Word value);
+
+/// Theorem 2: access several arrays in turn; total size is what matters
+/// as long as there are at most p/w arrays.
+RunReport contiguous_read_arrays(
+    Machine& machine, MemorySpace space,
+    const std::vector<std::pair<Address, std::int64_t>>& arrays);
+
+}  // namespace hmm::alg

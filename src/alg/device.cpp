@@ -1,0 +1,154 @@
+#include "alg/device.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+
+namespace hmm::alg {
+
+SubTask device_contiguous_read(ThreadCtx& t, MemorySpace space, Address base,
+                               std::int64_t n, std::int64_t self,
+                               std::int64_t workers) {
+  HMM_REQUIRE(n >= 0 && workers >= 1, "contiguous read: n>=0, workers>=1");
+  if (self == kNoWorker) co_return;
+  for (Address i = self; i < n; i += workers) {
+    co_await t.read(space, base + i);
+  }
+}
+
+SubTask device_copy(ThreadCtx& t, MemorySpace dst_space, Address dst,
+                    MemorySpace src_space, Address src, std::int64_t n,
+                    std::int64_t self, std::int64_t workers) {
+  HMM_REQUIRE(n >= 0 && workers >= 1, "copy: n>=0, workers>=1");
+  if (self == kNoWorker) co_return;
+  for (Address i = self; i < n; i += workers) {
+    const Word v = co_await t.read(src_space, src + i);
+    co_await t.write(dst_space, dst + i, v);
+  }
+}
+
+SubTask device_copy_2d(ThreadCtx& t, MemorySpace dst_space, Address dst,
+                       std::int64_t dst_stride, MemorySpace src_space,
+                       Address src, std::int64_t src_stride,
+                       std::int64_t rows, std::int64_t cols,
+                       std::int64_t self, std::int64_t workers) {
+  HMM_REQUIRE(rows >= 0 && cols >= 1 && workers >= 1,
+              "copy_2d: rows>=0, cols>=1, workers>=1");
+  HMM_REQUIRE(dst_stride >= cols && src_stride >= cols,
+              "copy_2d: strides must cover the row length");
+  if (self == kNoWorker) co_return;
+  const std::int64_t cells = rows * cols;
+  for (Address c = self; c < cells; c += workers) {
+    const std::int64_t r = c / cols, k = c % cols;
+    const Word v = co_await t.read(src_space, src + r * src_stride + k);
+    co_await t.write(dst_space, dst + r * dst_stride + k, v);
+  }
+}
+
+SubTask device_tree_sum(ThreadCtx& t, MemorySpace space, Address base,
+                        std::int64_t n, std::int64_t self,
+                        std::int64_t workers, BarrierScope scope) {
+  HMM_REQUIRE(n >= 1 && workers >= 1, "tree sum: n>=1, workers>=1");
+  // Fold the tail A[half .. s) onto A[0 .. s-half): both the reads and the
+  // read-modify-writes are contiguous runs (Theorem 2 applies), and the
+  // level count is ceil(log2 n).  The subroutine is fully
+  // self-synchronising: a barrier BEFORE each level makes the producers'
+  // writes (the caller's, or the previous level's) visible, and a final
+  // barrier publishes the total to every thread of the scope.
+  std::int64_t s = n;
+  while (s > 1) {
+    co_await t.barrier(scope);
+    const std::int64_t half = ceil_div(s, 2);  // new size
+    const std::int64_t folds = s - half;       // elements folded this level
+    if (self != kNoWorker) {
+      for (Address i = self; i < folds; i += workers) {
+        const Word hi = co_await t.read(space, base + half + i);
+        const Word lo = co_await t.read(space, base + i);
+        co_await t.compute();  // the addition is one RAM time unit
+        co_await t.write(space, base + i, lo + hi);
+      }
+    }
+    s = half;
+  }
+  co_await t.barrier(scope);
+}
+
+SubTask device_convolution(ThreadCtx& t, MemorySpace space, Address a,
+                           std::int64_t m, Address x, std::int64_t n,
+                           Address z, Address scratch, std::int64_t self,
+                           std::int64_t workers, BarrierScope scope) {
+  HMM_REQUIRE(m >= 1 && n >= 1 && workers >= 1,
+              "convolution: m>=1, n>=1, workers>=1");
+  const bool teams = workers > n;
+  HMM_REQUIRE(!teams || workers % n == 0,
+              "convolution: workers > n requires workers to be a multiple "
+              "of n (the paper's p/n blocks)");
+  const std::int64_t k = teams ? workers / n : 1;
+  const std::int64_t chunk = ceil_div(m, k);  // filter taps per team
+
+  if (!teams) {
+    // One thread per output (strip-mined when workers < n): thread
+    // `self` accumulates z[i] for i = self, self+workers, ...  All
+    // threads of a warp read the same a[j] (a broadcast: one stage) and
+    // consecutive x[i+j] (contiguous: one stage).
+    if (self != kNoWorker) {
+      for (Address i = self; i < n; i += workers) {
+        Word acc = 0;
+        for (std::int64_t j = 0; j < m; ++j) {
+          const Word aj = co_await t.read(space, a + j);
+          const Word xv = co_await t.read(space, x + i + j);
+          co_await t.compute();  // one multiply-add
+          acc += aj * xv;
+        }
+        co_await t.write(space, z + i, acc);
+      }
+    }
+  } else {
+    // k = workers/n teams: team b of thread handles filter taps
+    // [b*chunk, min((b+1)*chunk, m)).  Thread layout self = b*n + i keeps
+    // warps contiguous in i, so x reads stay coalesced and a reads stay
+    // broadcast.  Partials land in scratch[b*n + i].
+    if (self != kNoWorker) {
+      const std::int64_t b = self / n;
+      const Address i = self % n;
+      const std::int64_t j_begin = b * chunk;
+      const std::int64_t j_end = std::min(m, (b + 1) * chunk);
+      Word acc = 0;
+      for (std::int64_t j = j_begin; j < j_end; ++j) {
+        const Word aj = co_await t.read(space, a + j);
+        const Word xv = co_await t.read(space, x + i + j);
+        co_await t.compute();
+        acc += aj * xv;
+      }
+      co_await t.write(space, scratch + b * n + i, acc);
+    }
+    co_await t.barrier(scope);
+
+    // Tree-reduce the k partial rows onto row 0; every level folds whole
+    // rows, so the accesses stay contiguous (Theorem 2).
+    std::int64_t rows = k;
+    while (rows > 1) {
+      const std::int64_t half = ceil_div(rows, 2);
+      const std::int64_t fold_cells = (rows - half) * n;
+      if (self != kNoWorker) {
+        for (Address c = self; c < fold_cells; c += workers) {
+          const Word hi = co_await t.read(space, scratch + half * n + c);
+          const Word lo = co_await t.read(space, scratch + c);
+          co_await t.compute();
+          co_await t.write(space, scratch + c, lo + hi);
+        }
+      }
+      co_await t.barrier(scope);
+      rows = half;
+    }
+
+    // Row 0 of the scratch is z.
+    const std::int64_t copy_self =
+        (self == kNoWorker || self >= n) ? kNoWorker : self;
+    co_await device_copy(t, space, z, space, scratch, n, copy_self,
+                         std::min(workers, n));
+  }
+}
+
+}  // namespace hmm::alg

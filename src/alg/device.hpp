@@ -1,0 +1,67 @@
+// Device-side building blocks — SubTask subroutines invoked from inside
+// kernels with `co_await`.
+//
+// Collective-call contract: a subroutine that contains barriers must be
+// invoked by EVERY thread of its barrier scope with identical shape
+// arguments (n, workers, scope), or the run deadlocks — exactly like
+// __syncthreads() inside conditional code on a real GPU.  Threads that
+// have no work to contribute pass self = kNoWorker and only participate
+// in the barriers.
+#pragma once
+
+#include "core/types.hpp"
+#include "machine/task.hpp"
+#include "machine/thread_ctx.hpp"
+
+namespace hmm::alg {
+
+/// Worker index of a thread that only participates in barriers.
+inline constexpr std::int64_t kNoWorker = -1;
+
+/// Contiguous access of §IV / Lemma 1: worker `self` of `workers` touches
+/// cells base + j*workers + self for every round j.  Barrier-free.
+SubTask device_contiguous_read(ThreadCtx& t, MemorySpace space, Address base,
+                               std::int64_t n, std::int64_t self,
+                               std::int64_t workers);
+
+/// Contiguous copy dst[i] = src[i] for i in [0, n), strip-mined over
+/// `workers` threads with the Lemma-1 access pattern on both sides.
+/// Barrier-free; spaces may differ (this is Step 1/3 of the §IX
+/// convolution: global <-> shared staging).
+SubTask device_copy(ThreadCtx& t, MemorySpace dst_space, Address dst,
+                    MemorySpace src_space, Address src, std::int64_t n,
+                    std::int64_t self, std::int64_t workers);
+
+/// 2D block copy: move a rows x cols block between two row-major
+/// layouts with different strides, strip-mined cell-wise over `workers`
+/// so every global latency overlaps (one flat sweep, not one copy per
+/// row).  Barrier-free.
+SubTask device_copy_2d(ThreadCtx& t, MemorySpace dst_space, Address dst,
+                       std::int64_t dst_stride, MemorySpace src_space,
+                       Address src, std::int64_t src_stride,
+                       std::int64_t rows, std::int64_t cols,
+                       std::int64_t self, std::int64_t workers);
+
+/// The optimal tree sum of §VI (Lemma 5): repeatedly folds the upper half
+/// of A[base .. base+n) onto the lower half with contiguous accesses;
+/// the total ends in A[base].  Contains one barrier per level —
+/// collective over `scope`.
+SubTask device_tree_sum(ThreadCtx& t, MemorySpace space, Address base,
+                        std::int64_t n, std::int64_t self,
+                        std::int64_t workers, BarrierScope scope);
+
+/// The direct convolution of §VIII (Theorem 8) over one address space:
+///   z[i] = sum_{j<m} a[j] * x[i+j],  i in [0, n)
+/// with `workers` threads.  When workers > n, workers must be a multiple
+/// of n; the workers split into k = workers/n teams that produce partial
+/// sums in scratch[0 .. k*n) and tree-reduce them (one barrier per
+/// level — collective over `scope`).  When workers <= n the scratch is
+/// unused and the subroutine is barrier-free for non-workers... it still
+/// must be called collectively because the k > 1 path has barriers; the
+/// k == 1 path performs none.
+SubTask device_convolution(ThreadCtx& t, MemorySpace space, Address a,
+                           std::int64_t m, Address x, std::int64_t n,
+                           Address z, Address scratch, std::int64_t self,
+                           std::int64_t workers, BarrierScope scope);
+
+}  // namespace hmm::alg

@@ -1,0 +1,149 @@
+#include "alg/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/bipartite.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace hmm::alg {
+
+namespace {
+
+void check_permutation(std::span<const std::int64_t> perm) {
+  const auto n = static_cast<std::int64_t>(perm.size());
+  HMM_REQUIRE(n >= 1, "permutation: n must be >= 1");
+  std::vector<bool> seen(perm.size(), false);
+  for (std::int64_t v : perm) {
+    HMM_REQUIRE(v >= 0 && v < n && !seen[static_cast<std::size_t>(v)],
+                "permutation: values must be a bijection on [0, n)");
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+}  // namespace
+
+PermutationSchedule::PermutationSchedule(std::span<const std::int64_t> perm,
+                                         std::int64_t width)
+    : n_(static_cast<std::int64_t>(perm.size())),
+      width_(width),
+      perm_(perm.begin(), perm.end()) {
+  check_permutation(perm);
+  HMM_REQUIRE(width >= 1 && n_ % width == 0,
+              "offline permutation: width must divide n");
+
+  // One edge per element: source bank -> destination bank.  The graph is
+  // (n/w)-regular because addresses interleave over banks and pi is a
+  // bijection; König gives the n/w conflict-free rounds.
+  std::vector<BipartiteEdge> edges;
+  edges.reserve(perm.size());
+  for (std::int64_t i = 0; i < n_; ++i) {
+    edges.push_back(BipartiteEdge{
+        .left = i % width_,
+        .right = perm_[static_cast<std::size_t>(i)] % width_,
+        .id = i,
+    });
+  }
+  for (auto& matching : decompose_regular_bipartite(width_, std::move(edges))) {
+    std::vector<std::int64_t> round;
+    round.reserve(matching.size());
+    for (const BipartiteEdge& e : matching) round.push_back(e.id);
+    rounds_.push_back(std::move(round));
+  }
+}
+
+std::int64_t PermutationSchedule::element(std::int64_t round,
+                                          std::int64_t lane) const {
+  HMM_REQUIRE(round >= 0 && round < rounds() && lane >= 0 && lane < width_,
+              "schedule: round/lane out of range");
+  return rounds_[static_cast<std::size_t>(round)]
+                [static_cast<std::size_t>(lane)];
+}
+
+std::int64_t PermutationSchedule::destination(std::int64_t round,
+                                              std::int64_t lane) const {
+  return perm_[static_cast<std::size_t>(element(round, lane))];
+}
+
+MachinePermutation permute_dmm_naive(std::span<const Word> input,
+                                     std::span<const std::int64_t> perm,
+                                     std::int64_t threads, std::int64_t width,
+                                     Cycle latency) {
+  const auto n = static_cast<std::int64_t>(input.size());
+  HMM_REQUIRE(static_cast<std::int64_t>(perm.size()) == n,
+              "permutation length must match input length");
+  check_permutation(perm);
+
+  Machine machine = Machine::dmm(width, latency, threads, 2 * n);
+  machine.shared_memory(0).load(0, input);
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t p = t.num_threads();
+    for (Address i = t.thread_id(); i < n; i += p) {
+      const Word v = co_await t.read(MemorySpace::kShared, i);
+      co_await t.write(MemorySpace::kShared,
+                       n + perm[static_cast<std::size_t>(i)], v);
+    }
+  });
+  return {machine.shared_memory(0).dump(n, n), std::move(report)};
+}
+
+MachinePermutation permute_dmm_offline(std::span<const Word> input,
+                                       const PermutationSchedule& schedule,
+                                       Cycle latency) {
+  const auto n = static_cast<std::int64_t>(input.size());
+  HMM_REQUIRE(schedule.n() == n, "schedule was built for a different n");
+  const std::int64_t w = schedule.width();
+  // Enough warps to hide the latency, never more than there are rounds.
+  const std::int64_t warps =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(schedule.rounds(),
+                                                       latency));
+  Machine machine = Machine::dmm(w, latency, warps * w, 2 * n);
+  machine.shared_memory(0).load(0, input);
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t lane = t.lane();
+    const std::int64_t nwarps = t.num_threads() / t.width();
+    // Warp k executes matchings k, k + nwarps, ...: every batch touches
+    // w distinct source banks (reads) and w distinct destination banks
+    // (writes) — one stage each, by construction.
+    for (std::int64_t r = t.warp_id(); r < schedule.rounds(); r += nwarps) {
+      const Word v = co_await t.read(MemorySpace::kShared,
+                                     schedule.element(r, lane));
+      co_await t.write(MemorySpace::kShared,
+                       n + schedule.destination(r, lane), v);
+    }
+  });
+  return {machine.shared_memory(0).dump(n, n), std::move(report)};
+}
+
+std::vector<std::int64_t> bank_crushing_permutation(std::int64_t n,
+                                                    std::int64_t width) {
+  HMM_REQUIRE(width >= 1 && n % (width * width) == 0,
+              "bank-crushing permutation needs w^2 | n");
+  const std::int64_t r = n / width;  // rows of the transpose view
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
+  // The transpose permutation: element b*w + t -> t*r + b.  Because
+  // w | r, all w elements of source block b land in bank (b mod w): the
+  // naive kernel pays w-way write conflicts on EVERY warp.
+  for (std::int64_t b = 0; b < r; ++b) {
+    for (std::int64_t t = 0; t < width; ++t) {
+      perm[static_cast<std::size_t>(b * width + t)] = t * r + b;
+    }
+  }
+  return perm;
+}
+
+std::vector<std::int64_t> random_permutation(std::int64_t n,
+                                             std::uint64_t seed) {
+  HMM_REQUIRE(n >= 1, "permutation: n must be >= 1");
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  return perm;
+}
+
+}  // namespace hmm::alg

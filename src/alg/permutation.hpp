@@ -1,0 +1,80 @@
+// Offline permutation on the DMM — the companion result the paper cites
+// as [13]/[19]: given a permutation pi known in advance, move
+// dst[pi(i)] = src[i] for all i in O(n/w + l) time with ZERO bank
+// conflicts, no matter how adversarial pi is.
+//
+// The naive kernel (thread reads src[i], writes dst[pi(i)]) is priced by
+// the destination banks: a permutation that sends a whole warp to one
+// bank costs w stages per write batch.  The conflict-free schedule
+// builds the w x w bipartite multigraph "source bank -> destination
+// bank" (one edge per element; it is (n/w)-regular when w | n), edge-
+// colours it into n/w perfect matchings (core/bipartite.hpp), and
+// executes one matching per round: every round's w reads hit w distinct
+// source banks and its w writes hit w distinct destination banks.
+//
+// The schedule is computed host-side — this is an OFFLINE permutation,
+// exactly as in [19], where the schedule is prepared once and reused.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "machine/machine.hpp"
+
+namespace hmm::alg {
+
+struct MachinePermutation {
+  std::vector<Word> out;  ///< out[perm[i]] = in[i]
+  RunReport report;
+};
+
+/// One precomputed conflict-free schedule: rounds x w element indices.
+/// Reusable across inputs (the point of "offline").
+class PermutationSchedule {
+ public:
+  /// Build the schedule for `perm` (a permutation of [0, n), w | n).
+  PermutationSchedule(std::span<const std::int64_t> perm, std::int64_t width);
+
+  std::int64_t n() const { return n_; }
+  std::int64_t width() const { return width_; }
+  std::int64_t rounds() const {
+    return static_cast<std::int64_t>(rounds_.size());
+  }
+
+  /// Element moved by lane `lane` in round `round`.
+  std::int64_t element(std::int64_t round, std::int64_t lane) const;
+  /// Its destination, perm[element].
+  std::int64_t destination(std::int64_t round, std::int64_t lane) const;
+
+ private:
+  std::int64_t n_;
+  std::int64_t width_;
+  std::vector<std::vector<std::int64_t>> rounds_;  // element indices
+  std::vector<std::int64_t> perm_;
+};
+
+/// Naive online permutation on a standalone DMM: contiguous reads,
+/// destination-designated writes (pays whatever conflicts pi causes).
+MachinePermutation permute_dmm_naive(std::span<const Word> input,
+                                     std::span<const std::int64_t> perm,
+                                     std::int64_t threads, std::int64_t width,
+                                     Cycle latency);
+
+/// Conflict-free offline permutation using a precomputed schedule;
+/// one warp of `width` threads executes one matching per round.
+MachinePermutation permute_dmm_offline(std::span<const Word> input,
+                                       const PermutationSchedule& schedule,
+                                       Cycle latency);
+
+/// Adversarial permutation that routes every warp-aligned block of w
+/// consecutive sources to ONE destination bank — the worst case for the
+/// naive kernel (w-way write conflicts on every batch).
+std::vector<std::int64_t> bank_crushing_permutation(std::int64_t n,
+                                                    std::int64_t width);
+
+/// Uniformly random permutation of [0, n) from a seed.
+std::vector<std::int64_t> random_permutation(std::int64_t n,
+                                             std::uint64_t seed);
+
+}  // namespace hmm::alg

@@ -1,0 +1,113 @@
+#include "alg/reduce.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "alg/device.hpp"
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+
+namespace hmm::alg {
+
+Word apply_reduce_op(ReduceOp op, Word a, Word b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  throw InternalError("unknown reduce op");
+}
+
+Word reduce_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return 0;
+    case ReduceOp::kMin: return std::numeric_limits<Word>::max();
+    case ReduceOp::kMax: return std::numeric_limits<Word>::min();
+  }
+  throw InternalError("unknown reduce op");
+}
+
+SubTask device_tree_reduce(ThreadCtx& t, MemorySpace space, Address base,
+                           std::int64_t n, std::int64_t self,
+                           std::int64_t workers, BarrierScope scope,
+                           ReduceOp op) {
+  HMM_REQUIRE(n >= 1 && workers >= 1, "tree reduce: n>=1, workers>=1");
+  std::int64_t s = n;
+  while (s > 1) {
+    co_await t.barrier(scope);
+    const std::int64_t half = ceil_div(s, 2);
+    const std::int64_t folds = s - half;
+    if (self != kNoWorker) {
+      for (Address i = self; i < folds; i += workers) {
+        const Word hi = co_await t.read(space, base + half + i);
+        const Word lo = co_await t.read(space, base + i);
+        co_await t.compute();
+        co_await t.write(space, base + i, apply_reduce_op(op, lo, hi));
+      }
+    }
+    s = half;
+  }
+  co_await t.barrier(scope);
+}
+
+MachineReduce reduce_umm(std::span<const Word> input, ReduceOp op,
+                         std::int64_t threads, std::int64_t width,
+                         Cycle latency) {
+  const auto n = static_cast<std::int64_t>(input.size());
+  HMM_REQUIRE(n >= 1, "reduce: n must be >= 1");
+  Machine m = Machine::umm(width, latency, threads, n);
+  m.global_memory().load(0, input);
+  RunReport report = m.run([&](ThreadCtx& t) -> SimTask {
+    co_await device_tree_reduce(t, MemorySpace::kGlobal, 0, n, t.thread_id(),
+                                t.num_threads(), BarrierScope::kMachine, op);
+  });
+  return {m.global_memory().peek(0), std::move(report)};
+}
+
+MachineReduce reduce_hmm(std::span<const Word> input, ReduceOp op,
+                         std::int64_t num_dmms, std::int64_t threads_per_dmm,
+                         std::int64_t width, Cycle latency) {
+  const auto n = static_cast<std::int64_t>(input.size());
+  HMM_REQUIRE(n >= 1, "reduce: n must be >= 1");
+  const std::int64_t d = num_dmms;
+  const std::int64_t shared_size = std::max(threads_per_dmm, d);
+  Machine m = Machine::hmm(width, latency, d, threads_per_dmm, shared_size,
+                           n + d);
+  m.global_memory().load(0, input);
+
+  RunReport report = m.run([&](ThreadCtx& t) -> SimTask {
+    // Theorem-7 structure with the generic monoid: register column
+    // folds, per-DMM shared tree, staged final tree on DMM(0).
+    const std::int64_t p = t.num_threads();
+    const std::int64_t pd = t.dmm_thread_count();
+    const std::int64_t self = t.local_thread_id();
+    Word acc = reduce_identity(op);
+    for (Address i = t.thread_id(); i < n; i += p) {
+      const Word v = co_await t.read(MemorySpace::kGlobal, i);
+      co_await t.compute();
+      acc = apply_reduce_op(op, acc, v);
+    }
+    co_await t.write(MemorySpace::kShared, self, acc);
+    co_await device_tree_reduce(t, MemorySpace::kShared, 0, pd, self, pd,
+                                BarrierScope::kDmm, op);
+    if (self == 0) {
+      const Word dv = co_await t.read(MemorySpace::kShared, 0);
+      co_await t.write(MemorySpace::kGlobal, n + t.dmm_id(), dv);
+    }
+    co_await t.barrier(BarrierScope::kMachine);
+    if (t.dmm_id() != 0) co_return;
+    const std::int64_t stagers = std::min(pd, d);
+    co_await device_copy(t, MemorySpace::kShared, 0, MemorySpace::kGlobal, n,
+                         d, self < stagers ? self : kNoWorker, stagers);
+    co_await t.barrier(BarrierScope::kDmm);
+    co_await device_tree_reduce(t, MemorySpace::kShared, 0, d, self, pd,
+                                BarrierScope::kDmm, op);
+    if (self == 0) {
+      const Word total = co_await t.read(MemorySpace::kShared, 0);
+      co_await t.write(MemorySpace::kGlobal, n, total);
+    }
+  });
+  return {m.global_memory().peek(n), std::move(report)};
+}
+
+}  // namespace hmm::alg

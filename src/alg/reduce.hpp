@@ -1,0 +1,50 @@
+// Generic tree reductions — the sum of §VI/§VII generalised to any
+// commutative monoid the unit-cost RAM can evaluate (min, max, and
+// index-carrying argmin/argmax).  Same access pattern, same bounds:
+// Θ(n/w + nl/p + l log n) on a DMM/UMM and Θ(n/w + nl/p + l + log n)
+// on the HMM, since the fold only ever needs the operator to be
+// associative and commutative.
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+#include "machine/machine.hpp"
+#include "machine/task.hpp"
+#include "machine/thread_ctx.hpp"
+
+namespace hmm::alg {
+
+/// The monoids the device fold supports.  (An enum rather than a
+/// callable so device code stays header-free and the op costs exactly
+/// one RAM time unit, like the paper's additions.)
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+/// Apply the monoid on the host (identical semantics to the device).
+Word apply_reduce_op(ReduceOp op, Word a, Word b);
+
+/// Identity element of the monoid.
+Word reduce_identity(ReduceOp op);
+
+/// Device-side fold of A[base..base+n) under `op`; same collective
+/// contract and self-synchronisation as device_tree_sum (which is the
+/// kSum instantiation).  Result lands in A[base].
+SubTask device_tree_reduce(ThreadCtx& t, MemorySpace space, Address base,
+                           std::int64_t n, std::int64_t self,
+                           std::int64_t workers, BarrierScope scope,
+                           ReduceOp op);
+
+struct MachineReduce {
+  Word value = 0;
+  RunReport report;
+};
+
+/// Host drivers mirroring sum_umm / sum_hmm for any monoid.
+MachineReduce reduce_umm(std::span<const Word> input, ReduceOp op,
+                         std::int64_t threads, std::int64_t width,
+                         Cycle latency);
+MachineReduce reduce_hmm(std::span<const Word> input, ReduceOp op,
+                         std::int64_t num_dmms, std::int64_t threads_per_dmm,
+                         std::int64_t width, Cycle latency);
+
+}  // namespace hmm::alg

@@ -1,0 +1,152 @@
+#include "alg/sort.hpp"
+
+#include <algorithm>
+
+#include "alg/device.hpp"
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+
+namespace hmm::alg {
+
+namespace {
+
+/// One bitonic compare-exchange stage (k, j) over the elements
+/// [base, base + count) of `space`, where the element at local offset q
+/// has GLOBAL index global0 + q (the direction bit (global & k) must use
+/// global indices so that staged HMM blocks run the very same network).
+/// Pairs are strip-mined over workers; pair q maps to the lower index
+/// (q / j) * 2j + (q % j), so consecutive q give contiguous runs of
+/// length j on both sides of the exchange.  Barrier-free.
+SubTask device_bitonic_stage(ThreadCtx& t, MemorySpace space, Address base,
+                             std::int64_t count, std::int64_t global0,
+                             std::int64_t k, std::int64_t j,
+                             std::int64_t self, std::int64_t workers) {
+  if (self == kNoWorker) co_return;
+  const std::int64_t pairs = count / 2;
+  for (std::int64_t q = self; q < pairs; q += workers) {
+    const std::int64_t lo = (q / j) * (2 * j) + (q % j);
+    const std::int64_t hi = lo + j;
+    const Word a = co_await t.read(space, base + lo);
+    const Word b = co_await t.read(space, base + hi);
+    co_await t.compute();  // the compare
+    const bool ascending = ((global0 + lo) & k) == 0;
+    const Word small = std::min(a, b), big = std::max(a, b);
+    co_await t.write(space, base + lo, ascending ? small : big);
+    co_await t.write(space, base + hi, ascending ? big : small);
+  }
+}
+
+MachineSort sort_standalone(std::span<const Word> input, std::int64_t threads,
+                            std::int64_t width, Cycle latency,
+                            MemorySpace space) {
+  const auto n = static_cast<std::int64_t>(input.size());
+  HMM_REQUIRE(n >= 1 && is_pow2(n), "bitonic sort: n must be a power of two");
+
+  Machine machine = space == MemorySpace::kShared
+                        ? Machine::dmm(width, latency, threads, n)
+                        : Machine::umm(width, latency, threads, n);
+  BankMemory& mem = space == MemorySpace::kShared
+                        ? machine.shared_memory(0)
+                        : machine.global_memory();
+  mem.load(0, input);
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t p = t.num_threads();
+    for (std::int64_t k = 2; k <= n; k <<= 1) {
+      for (std::int64_t j = k >> 1; j >= 1; j >>= 1) {
+        co_await device_bitonic_stage(t, space, 0, n, 0, k, j, t.thread_id(),
+                                      p);
+        co_await t.barrier(BarrierScope::kMachine);
+      }
+    }
+  });
+  return {mem.dump(0, n), std::move(report)};
+}
+
+}  // namespace
+
+MachineSort sort_dmm(std::span<const Word> input, std::int64_t threads,
+                     std::int64_t width, Cycle latency) {
+  return sort_standalone(input, threads, width, latency,
+                         MemorySpace::kShared);
+}
+
+MachineSort sort_umm(std::span<const Word> input, std::int64_t threads,
+                     std::int64_t width, Cycle latency) {
+  return sort_standalone(input, threads, width, latency,
+                         MemorySpace::kGlobal);
+}
+
+MachineSort sort_hmm(std::span<const Word> input, std::int64_t num_dmms,
+                     std::int64_t threads_per_dmm, std::int64_t width,
+                     Cycle latency) {
+  const auto n = static_cast<std::int64_t>(input.size());
+  const std::int64_t d = num_dmms;
+  HMM_REQUIRE(n >= 1 && is_pow2(n), "bitonic sort: n must be a power of two");
+  HMM_REQUIRE(d >= 1 && is_pow2(d) && n % d == 0,
+              "bitonic sort: d must be a power of two dividing n");
+  const std::int64_t c = n / d;  // aligned block per DMM
+  HMM_REQUIRE(is_pow2(c), "bitonic sort: n/d must be a power of two");
+
+  Machine machine =
+      Machine::hmm(width, latency, d, threads_per_dmm, c, n);
+  machine.global_memory().load(0, input);
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t self = t.local_thread_id();
+    const std::int64_t workers = t.dmm_thread_count();
+    const Address block = t.dmm_id() * c;  // this DMM's aligned block
+
+    // A staged local pass: pull the block into shared memory, run the
+    // given (k, j<=j_hi) tail of the network there (strides < c stay
+    // inside aligned blocks), push it back, and meet everyone at the
+    // machine barrier so the next cross-block stage sees it.
+    auto local_pass = [&](std::int64_t k, std::int64_t j_hi) -> SubTask {
+      co_await device_copy(t, MemorySpace::kShared, 0, MemorySpace::kGlobal,
+                           block, c, self, workers);
+      co_await t.barrier(BarrierScope::kDmm);
+      for (std::int64_t j = j_hi; j >= 1; j >>= 1) {
+        co_await device_bitonic_stage(t, MemorySpace::kShared, 0, c, block,
+                                      k, j, self, workers);
+        co_await t.barrier(BarrierScope::kDmm);
+      }
+      co_await device_copy(t, MemorySpace::kGlobal, block,
+                           MemorySpace::kShared, 0, c, self, workers);
+      co_await t.barrier(BarrierScope::kMachine);
+    };
+
+    // Phase A: every k <= c is entirely within blocks — one staging
+    // covers the full local bitonic sort.  (Run the k-loop inside the
+    // staged pass.)
+    co_await device_copy(t, MemorySpace::kShared, 0, MemorySpace::kGlobal,
+                         block, c, self, workers);
+    co_await t.barrier(BarrierScope::kDmm);
+    for (std::int64_t k = 2; k <= c; k <<= 1) {
+      for (std::int64_t j = k >> 1; j >= 1; j >>= 1) {
+        co_await device_bitonic_stage(t, MemorySpace::kShared, 0, c, block,
+                                      k, j, self, workers);
+        co_await t.barrier(BarrierScope::kDmm);
+      }
+    }
+    co_await device_copy(t, MemorySpace::kGlobal, block, MemorySpace::kShared,
+                         0, c, self, workers);
+    co_await t.barrier(BarrierScope::kMachine);
+
+    // Phase B: for k > c, strides >= c cross blocks and run on global
+    // memory (all p threads share the work); the j < c tail of each k
+    // goes back into shared.
+    const ThreadId tid = t.thread_id();
+    const std::int64_t p = t.num_threads();
+    for (std::int64_t k = 2 * c; k <= n; k <<= 1) {
+      for (std::int64_t j = k >> 1; j >= c; j >>= 1) {
+        co_await device_bitonic_stage(t, MemorySpace::kGlobal, 0, n, 0, k, j,
+                                      tid, p);
+        co_await t.barrier(BarrierScope::kMachine);
+      }
+      co_await local_pass(k, c >> 1);
+    }
+  });
+  return {machine.global_memory().dump(0, n), std::move(report)};
+}
+
+}  // namespace hmm::alg

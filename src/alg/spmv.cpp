@@ -1,0 +1,258 @@
+#include "alg/spmv.hpp"
+
+#include <algorithm>
+
+#include "alg/device.hpp"
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+#include "core/rng.hpp"
+
+namespace hmm::alg {
+
+namespace {
+
+void check_csr(const CsrMatrix& a, std::span<const Word> x) {
+  HMM_REQUIRE(a.rows >= 1 && a.cols >= 1, "spmv: empty matrix");
+  HMM_REQUIRE(static_cast<std::int64_t>(a.row_ptr.size()) == a.rows + 1,
+              "spmv: row_ptr must have rows+1 entries");
+  HMM_REQUIRE(a.row_ptr.front() == 0 && a.row_ptr.back() == a.nnz(),
+              "spmv: row_ptr must span [0, nnz]");
+  HMM_REQUIRE(a.col_idx.size() == a.values.size(), "spmv: ragged CSR");
+  HMM_REQUIRE(static_cast<std::int64_t>(x.size()) == a.cols,
+              "spmv: x must have cols entries");
+  for (std::size_t r = 0; r < a.row_ptr.size() - 1; ++r) {
+    HMM_REQUIRE(a.row_ptr[r] <= a.row_ptr[r + 1], "spmv: row_ptr not sorted");
+  }
+  for (std::int64_t c : a.col_idx) {
+    HMM_REQUIRE(c >= 0 && c < a.cols, "spmv: column index out of range");
+  }
+}
+
+/// Device-side layout of one CSR instance in a memory space.
+struct CsrLayout {
+  Address row_ptr, col_idx, values, x, y, scratch;
+  std::int64_t total = 0;
+
+  CsrLayout(const CsrMatrix& a, std::int64_t scratch_cells) {
+    row_ptr = 0;
+    col_idx = row_ptr + a.rows + 1;
+    values = col_idx + a.nnz();
+    x = values + a.nnz();
+    y = x + a.cols;
+    scratch = y + a.rows;
+    total = scratch + scratch_cells;
+  }
+};
+
+void load_csr(BankMemory& mem, const CsrMatrix& a, std::span<const Word> x,
+              const CsrLayout& lay) {
+  for (std::size_t i = 0; i < a.row_ptr.size(); ++i) {
+    mem.poke(lay.row_ptr + static_cast<Address>(i), a.row_ptr[i]);
+  }
+  for (std::size_t i = 0; i < a.col_idx.size(); ++i) {
+    mem.poke(lay.col_idx + static_cast<Address>(i), a.col_idx[i]);
+  }
+  mem.load(lay.values, a.values);
+  mem.load(lay.x, x);
+}
+
+/// Butterfly reduction of one register value across a warp, through a
+/// per-warp w-cell scratch block.  Warp-synchronous lockstep makes the
+/// write->read ordering safe without barriers; every round's accesses
+/// are contiguous.  Returns the warp total (identical on all lanes).
+SubTask device_warp_reduce(ThreadCtx& t, MemorySpace space, Address block,
+                           Word* acc) {
+  // Lanes arrive with different loop trip counts behind them (ragged
+  // rows): reconverge before communicating through the scratch block.
+  co_await t.warp_sync();
+  for (std::int64_t h = t.width() / 2; h >= 1; h >>= 1) {
+    co_await t.write(space, block + t.lane(), *acc);
+    co_await t.warp_sync();
+    const Word other = co_await t.read(space, block + (t.lane() ^ h));
+    co_await t.compute();
+    *acc += other;
+  }
+}
+
+}  // namespace
+
+CsrMatrix make_band_matrix(std::int64_t rows, std::int64_t row_nnz,
+                           std::int64_t bandwidth, std::uint64_t seed) {
+  HMM_REQUIRE(rows >= 1 && row_nnz >= 1 && bandwidth >= 0,
+              "band matrix: bad shape");
+  HMM_REQUIRE(row_nnz <= 2 * bandwidth + 1,
+              "band matrix: row_nnz exceeds the band");
+  Rng rng(seed);
+  CsrMatrix a;
+  a.rows = a.cols = rows;
+  a.row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+  a.row_ptr.push_back(0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t lo = std::max<std::int64_t>(0, r - bandwidth);
+    const std::int64_t hi = std::min(rows - 1, r + bandwidth);
+    std::vector<std::int64_t> window;
+    window.reserve(static_cast<std::size_t>(hi - lo + 1));
+    for (std::int64_t c = lo; c <= hi; ++c) window.push_back(c);
+    // Partial Fisher-Yates: pick row_nnz distinct columns.
+    const auto take =
+        std::min<std::int64_t>(row_nnz,
+                               static_cast<std::int64_t>(window.size()));
+    for (std::int64_t k = 0; k < take; ++k) {
+      const auto pick = k + static_cast<std::int64_t>(rng.next_below(
+                                window.size() - static_cast<std::size_t>(k)));
+      std::swap(window[static_cast<std::size_t>(k)],
+                window[static_cast<std::size_t>(pick)]);
+    }
+    window.resize(static_cast<std::size_t>(take));
+    std::sort(window.begin(), window.end());
+    for (std::int64_t c : window) {
+      a.col_idx.push_back(c);
+      a.values.push_back(rng.next_in(-9, 9));
+    }
+    a.row_ptr.push_back(a.nnz());
+  }
+  return a;
+}
+
+BaselineSpmv spmv_sequential(const CsrMatrix& a, std::span<const Word> x) {
+  check_csr(a, x);
+  const CsrLayout lay(a, 0);
+  SequentialRam ram(lay.total);
+  for (std::size_t i = 0; i < a.row_ptr.size(); ++i) {
+    ram.poke(lay.row_ptr + static_cast<Address>(i), a.row_ptr[i]);
+  }
+  for (std::size_t i = 0; i < a.col_idx.size(); ++i) {
+    ram.poke(lay.col_idx + static_cast<Address>(i), a.col_idx[i]);
+  }
+  ram.load(lay.values, a.values);
+  ram.load(lay.x, x);
+  for (Address r = 0; r < a.rows; ++r) {
+    const Word start = ram.read(lay.row_ptr + r);
+    const Word end = ram.read(lay.row_ptr + r + 1);
+    Word acc = 0;
+    for (Word k = start; k < end; ++k) {
+      const Word col = ram.read(lay.col_idx + k);
+      acc += ram.read(lay.values + k) * ram.read(lay.x + col);
+      ram.tick();
+    }
+    ram.write(lay.y + r, acc);
+  }
+  return {ram.dump(lay.y, a.rows), ram.time()};
+}
+
+MachineSpmv spmv_umm_scalar(const CsrMatrix& a, std::span<const Word> x,
+                            std::int64_t threads, std::int64_t width,
+                            Cycle latency) {
+  check_csr(a, x);
+  const CsrLayout lay(a, 0);
+  Machine machine = Machine::umm(width, latency, threads, lay.total);
+  load_csr(machine.global_memory(), a, x, lay);
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t p = t.num_threads();
+    for (Address r = t.thread_id(); r < a.rows; r += p) {
+      const Word start = co_await t.read(MemorySpace::kGlobal, lay.row_ptr + r);
+      const Word end =
+          co_await t.read(MemorySpace::kGlobal, lay.row_ptr + r + 1);
+      Word acc = 0;
+      for (Word k = start; k < end; ++k) {
+        const Word col = co_await t.read(MemorySpace::kGlobal, lay.col_idx + k);
+        const Word v = co_await t.read(MemorySpace::kGlobal, lay.values + k);
+        const Word xv = co_await t.read(MemorySpace::kGlobal, lay.x + col);
+        co_await t.compute();
+        acc += v * xv;
+      }
+      co_await t.write(MemorySpace::kGlobal, lay.y + r, acc);
+    }
+  });
+  return {machine.global_memory().dump(lay.y, a.rows), std::move(report)};
+}
+
+MachineSpmv spmv_umm_vector(const CsrMatrix& a, std::span<const Word> x,
+                            std::int64_t threads, std::int64_t width,
+                            Cycle latency) {
+  check_csr(a, x);
+  HMM_REQUIRE(threads % width == 0, "spmv vector: threads must fill warps");
+  const std::int64_t warps = threads / width;
+  const CsrLayout lay(a, warps * width);
+  Machine machine = Machine::umm(width, latency, threads, lay.total);
+  load_csr(machine.global_memory(), a, x, lay);
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t nwarps = t.num_threads() / t.width();
+    const Address block = lay.scratch + t.warp_id() * t.width();
+    for (Address r = t.warp_id(); r < a.rows; r += nwarps) {
+      const Word start = co_await t.read(MemorySpace::kGlobal, lay.row_ptr + r);
+      const Word end =
+          co_await t.read(MemorySpace::kGlobal, lay.row_ptr + r + 1);
+      Word acc = 0;
+      for (Word k = start + t.lane(); k < end; k += t.width()) {
+        const Word col = co_await t.read(MemorySpace::kGlobal, lay.col_idx + k);
+        const Word v = co_await t.read(MemorySpace::kGlobal, lay.values + k);
+        const Word xv = co_await t.read(MemorySpace::kGlobal, lay.x + col);
+        co_await t.compute();
+        acc += v * xv;
+      }
+      co_await device_warp_reduce(t, MemorySpace::kGlobal, block, &acc);
+      if (t.lane() == 0) {
+        co_await t.write(MemorySpace::kGlobal, lay.y + r, acc);
+      }
+    }
+  });
+  return {machine.global_memory().dump(lay.y, a.rows), std::move(report)};
+}
+
+MachineSpmv spmv_hmm(const CsrMatrix& a, std::span<const Word> x,
+                     std::int64_t num_dmms, std::int64_t threads_per_dmm,
+                     std::int64_t width, Cycle latency) {
+  check_csr(a, x);
+  const std::int64_t d = num_dmms;
+  HMM_REQUIRE(a.rows % d == 0, "spmv: rows must be a multiple of d");
+  HMM_REQUIRE(threads_per_dmm % width == 0,
+              "spmv: threads per DMM must fill warps");
+  const CsrLayout lay(a, 0);
+  const std::int64_t local_warps = threads_per_dmm / width;
+  // Shared: a full copy of x plus the per-warp reduction blocks.
+  const Address s_x = 0, s_scratch = a.cols;
+  const std::int64_t shared_size = a.cols + local_warps * width;
+
+  Machine machine = Machine::hmm(width, latency, d, threads_per_dmm,
+                                 shared_size, lay.total);
+  load_csr(machine.global_memory(), a, x, lay);
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t self = t.local_thread_id();
+    const std::int64_t workers = t.dmm_thread_count();
+    const std::int64_t rows_per_dmm = a.rows / t.num_dmms();
+    const Address row0 = t.dmm_id() * rows_per_dmm;
+
+    // Stage x once; every gather afterwards costs latency 1.
+    co_await device_copy(t, MemorySpace::kShared, s_x, MemorySpace::kGlobal,
+                         lay.x, a.cols, self, workers);
+    co_await t.barrier(BarrierScope::kDmm);
+
+    const std::int64_t nwarps = workers / t.width();
+    const std::int64_t lwarp = self / t.width();
+    const Address block = s_scratch + lwarp * t.width();
+    for (Address r = row0 + lwarp; r < row0 + rows_per_dmm; r += nwarps) {
+      const Word start = co_await t.read(MemorySpace::kGlobal, lay.row_ptr + r);
+      const Word end =
+          co_await t.read(MemorySpace::kGlobal, lay.row_ptr + r + 1);
+      Word acc = 0;
+      for (Word k = start + t.lane(); k < end; k += t.width()) {
+        const Word col = co_await t.read(MemorySpace::kGlobal, lay.col_idx + k);
+        const Word v = co_await t.read(MemorySpace::kGlobal, lay.values + k);
+        const Word xv = co_await t.read(MemorySpace::kShared, s_x + col);
+        co_await t.compute();
+        acc += v * xv;
+      }
+      co_await device_warp_reduce(t, MemorySpace::kShared, block, &acc);
+      if (t.lane() == 0) {
+        co_await t.write(MemorySpace::kGlobal, lay.y + r, acc);
+      }
+    }
+  });
+  return {machine.global_memory().dump(lay.y, a.rows), std::move(report)};
+}
+
+}  // namespace hmm::alg

@@ -1,0 +1,77 @@
+// Sparse matrix-vector multiplication (CSR) on the memory machine
+// models — the canonical IRREGULAR workload, and the sharpest test of
+// the model's pricing rules: the row-per-thread ("CSR-scalar") kernel
+// reads each row's values with per-thread strides (uncoalesced: up to w
+// address groups per warp), while the row-per-warp ("CSR-vector")
+// kernel walks each row with whole warps (coalesced) and tree-reduces
+// inside the warp.  The famous GPU folklore — scalar wins on short
+// rows, vector wins on long rows — falls straight out of the model, and
+// bench/ext_spmv measures the crossover.
+//
+// CSR storage: row_ptr (rows+1), col_idx (nnz), values (nnz), all in
+// the machine's memory, plus the dense vector x and the output y.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "machine/machine.hpp"
+#include "machine/sequential.hpp"
+
+namespace hmm::alg {
+
+/// A host-side CSR matrix.
+struct CsrMatrix {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int64_t> row_ptr;  ///< size rows+1
+  std::vector<std::int64_t> col_idx;  ///< size nnz
+  std::vector<Word> values;           ///< size nnz
+
+  std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values.size());
+  }
+};
+
+/// Random band matrix: every row has exactly `row_nnz` entries within a
+/// band around the diagonal (reproducible from the seed).
+CsrMatrix make_band_matrix(std::int64_t rows, std::int64_t row_nnz,
+                           std::int64_t bandwidth, std::uint64_t seed);
+
+struct MachineSpmv {
+  std::vector<Word> y;
+  RunReport report;
+};
+
+struct BaselineSpmv {
+  std::vector<Word> y;
+  Cycle time = 0;
+};
+
+/// O(nnz) sequential oracle with op counting.
+BaselineSpmv spmv_sequential(const CsrMatrix& a, std::span<const Word> x);
+
+/// CSR-scalar on a standalone UMM: one thread per row.  Row lengths
+/// diverge and each thread walks its own value stream — uncoalesced.
+MachineSpmv spmv_umm_scalar(const CsrMatrix& a, std::span<const Word> x,
+                            std::int64_t threads, std::int64_t width,
+                            Cycle latency);
+
+/// CSR-vector on a standalone UMM: one warp per row; the warp reads w
+/// consecutive entries per step (coalesced) and reduces the partials
+/// with a register shuffle priced as log w compute steps plus one
+/// coalesced store.
+MachineSpmv spmv_umm_vector(const CsrMatrix& a, std::span<const Word> x,
+                            std::int64_t threads, std::int64_t width,
+                            Cycle latency);
+
+/// HMM: each DMM owns a block of rows, stages x once into its shared
+/// memory (paying n/w once instead of per-access gather latency), and
+/// runs the vector kernel against shared x.  Requires cols to fit the
+/// shared memory.
+MachineSpmv spmv_hmm(const CsrMatrix& a, std::span<const Word> x,
+                     std::int64_t num_dmms, std::int64_t threads_per_dmm,
+                     std::int64_t width, Cycle latency);
+
+}  // namespace hmm::alg

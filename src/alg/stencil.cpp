@@ -1,0 +1,151 @@
+#include "alg/stencil.hpp"
+
+#include "alg/device.hpp"
+#include "core/error.hpp"
+
+namespace hmm::alg {
+
+namespace {
+
+Word relax(Word left, Word mid, Word right) {
+  return (left + 2 * mid + right) / 4;
+}
+
+void check_input(std::span<const Word> u0, std::int64_t sweeps) {
+  HMM_REQUIRE(u0.size() >= 3, "stencil: need at least 3 cells");
+  HMM_REQUIRE(sweeps >= 0, "stencil: sweeps must be >= 0");
+}
+
+}  // namespace
+
+BaselineStencil stencil_sequential(std::span<const Word> u0,
+                                   std::int64_t sweeps) {
+  check_input(u0, sweeps);
+  const auto n = static_cast<std::int64_t>(u0.size());
+  SequentialRam ram(2 * n);
+  ram.load(0, u0);
+  ram.poke(n, u0.front());
+  ram.poke(2 * n - 1, u0.back());
+  Address cur = 0, nxt = n;
+  for (std::int64_t s = 0; s < sweeps; ++s) {
+    for (Address i = 1; i < n - 1; ++i) {
+      const Word v = relax(ram.read(cur + i - 1), ram.read(cur + i),
+                           ram.read(cur + i + 1));
+      ram.tick();
+      ram.write(nxt + i, v);
+    }
+    std::swap(cur, nxt);
+  }
+  return {ram.dump(cur, n), ram.time()};
+}
+
+MachineStencil stencil_umm(std::span<const Word> u0, std::int64_t sweeps,
+                           std::int64_t threads, std::int64_t width,
+                           Cycle latency) {
+  check_input(u0, sweeps);
+  const auto n = static_cast<std::int64_t>(u0.size());
+  Machine machine = Machine::umm(width, latency, threads, 2 * n);
+  machine.global_memory().load(0, u0);
+  machine.global_memory().poke(n, u0.front());
+  machine.global_memory().poke(2 * n - 1, u0.back());
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t p = t.num_threads();
+    for (std::int64_t s = 0; s < sweeps; ++s) {
+      const Address cur = (s % 2 == 0) ? 0 : n;
+      const Address nxt = (s % 2 == 0) ? n : 0;
+      for (Address i = 1 + t.thread_id(); i < n - 1; i += p) {
+        const Word a = co_await t.read(MemorySpace::kGlobal, cur + i - 1);
+        const Word b = co_await t.read(MemorySpace::kGlobal, cur + i);
+        const Word c = co_await t.read(MemorySpace::kGlobal, cur + i + 1);
+        co_await t.compute();
+        co_await t.write(MemorySpace::kGlobal, nxt + i, relax(a, b, c));
+      }
+      co_await t.barrier(BarrierScope::kMachine);
+    }
+  });
+  const Address result = (sweeps % 2 == 0) ? 0 : n;
+  return {machine.global_memory().dump(result, n), std::move(report)};
+}
+
+MachineStencil stencil_hmm(std::span<const Word> u0, std::int64_t sweeps,
+                           std::int64_t num_dmms,
+                           std::int64_t threads_per_dmm, std::int64_t width,
+                           Cycle latency) {
+  check_input(u0, sweeps);
+  const auto n = static_cast<std::int64_t>(u0.size());
+  const std::int64_t d = num_dmms;
+  HMM_REQUIRE(n % d == 0 && n / d >= 2, "stencil: need n % d == 0, n/d >= 2");
+  const std::int64_t c = n / d;
+
+  // Shared: two halo-padded buffers of c + 2 cells.
+  const Address bufA = 0, bufB = c + 2;
+  Machine machine = Machine::hmm(width, latency, d, threads_per_dmm,
+                                 2 * (c + 2), n);
+  machine.global_memory().load(0, u0);
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t self = t.local_thread_id();
+    const std::int64_t workers = t.dmm_thread_count();
+    const Address row0 = t.dmm_id() * c;
+    const bool leftmost = t.dmm_id() == 0;
+    const bool rightmost = t.dmm_id() == t.num_dmms() - 1;
+
+    // Initial staging: slice into the interior of buffer A.
+    co_await device_copy(t, MemorySpace::kShared, bufA + 1,
+                         MemorySpace::kGlobal, row0, c, self, workers);
+    co_await t.barrier(BarrierScope::kMachine);
+
+    for (std::int64_t s = 0; s < sweeps; ++s) {
+      const Address cur = (s % 2 == 0) ? bufA : bufB;
+      const Address nxt = (s % 2 == 0) ? bufB : bufA;
+
+      // Refresh halos from the neighbours' published boundary cells.
+      if (self == 0 && !leftmost) {
+        const Word hv = co_await t.read(MemorySpace::kGlobal, row0 - 1);
+        co_await t.write(MemorySpace::kShared, cur, hv);
+      }
+      if (self == std::min<std::int64_t>(1, workers - 1) && !rightmost) {
+        const Word hv = co_await t.read(MemorySpace::kGlobal, row0 + c);
+        co_await t.write(MemorySpace::kShared, cur + c + 1, hv);
+      }
+      co_await t.barrier(BarrierScope::kDmm);
+
+      // Relax the interior of the slice at latency 1.
+      for (Address i = self; i < c; i += workers) {
+        const Address g = row0 + i;
+        Word v;
+        if (g == 0 || g == n - 1) {
+          v = co_await t.read(MemorySpace::kShared, cur + 1 + i);
+        } else {
+          const Word a = co_await t.read(MemorySpace::kShared, cur + i);
+          const Word b = co_await t.read(MemorySpace::kShared, cur + 1 + i);
+          const Word cc = co_await t.read(MemorySpace::kShared, cur + 2 + i);
+          co_await t.compute();
+          v = relax(a, b, cc);
+        }
+        co_await t.write(MemorySpace::kShared, nxt + 1 + i, v);
+      }
+      co_await t.barrier(BarrierScope::kDmm);
+
+      // Publish this slice's boundary cells for the neighbours.
+      if (self == 0) {
+        const Word v = co_await t.read(MemorySpace::kShared, nxt + 1);
+        co_await t.write(MemorySpace::kGlobal, row0, v);
+      }
+      if (self == std::min<std::int64_t>(1, workers - 1)) {
+        const Word v = co_await t.read(MemorySpace::kShared, nxt + c);
+        co_await t.write(MemorySpace::kGlobal, row0 + c - 1, v);
+      }
+      co_await t.barrier(BarrierScope::kMachine);
+    }
+
+    // Final write-back of the whole slice.
+    const Address fin = (sweeps % 2 == 0) ? bufA : bufB;
+    co_await device_copy(t, MemorySpace::kGlobal, row0, MemorySpace::kShared,
+                         fin + 1, c, self, workers);
+  });
+  return {machine.global_memory().dump(0, n), std::move(report)};
+}
+
+}  // namespace hmm::alg

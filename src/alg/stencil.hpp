@@ -1,0 +1,52 @@
+// Iterative 1D 3-point Jacobi stencil (heat diffusion) on the memory
+// machine models — the canonical halo-exchange workload: each sweep
+// reads every cell's two neighbours, so a flat-global implementation
+// pays the full memory latency per sweep, while the HMM implementation
+// stages each DMM's slice plus a 1-cell halo into shared memory and
+// only touches global memory at slice boundaries between sweeps.
+//
+//   u'[i] = (u[i-1] + 2 u[i] + u[i+1]) / 4,  boundaries held fixed.
+//
+// Integer arithmetic: inputs are scaled by the caller (words are
+// integers); the division is exact truncation on every model, so
+// results are bit-identical across models.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "machine/machine.hpp"
+#include "machine/sequential.hpp"
+
+namespace hmm::alg {
+
+struct MachineStencil {
+  std::vector<Word> u;
+  RunReport report;
+};
+
+struct BaselineStencil {
+  std::vector<Word> u;
+  Cycle time = 0;
+};
+
+/// Reference sweep loop with op counting.
+BaselineStencil stencil_sequential(std::span<const Word> u0,
+                                   std::int64_t sweeps);
+
+/// Flat UMM: double-buffered sweeps, one machine barrier per sweep.
+MachineStencil stencil_umm(std::span<const Word> u0, std::int64_t sweeps,
+                           std::int64_t threads, std::int64_t width,
+                           Cycle latency);
+
+/// HMM: each DMM owns an aligned slice; per sweep it refreshes only the
+/// 2 halo cells from global memory, sweeps its slice in shared memory,
+/// and publishes its 2 boundary cells back — so global traffic per
+/// sweep is Θ(d), not Θ(n).  Requires n % d == 0 and n/d >= 2.
+MachineStencil stencil_hmm(std::span<const Word> u0, std::int64_t sweeps,
+                           std::int64_t num_dmms,
+                           std::int64_t threads_per_dmm, std::int64_t width,
+                           Cycle latency);
+
+}  // namespace hmm::alg

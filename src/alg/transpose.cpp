@@ -1,0 +1,74 @@
+#include "alg/transpose.hpp"
+
+#include "core/error.hpp"
+
+namespace hmm::alg {
+
+namespace {
+
+void check_matrix(std::span<const Word> matrix, std::int64_t rows) {
+  HMM_REQUIRE(rows >= 1, "transpose: rows must be >= 1");
+  HMM_REQUIRE(static_cast<std::int64_t>(matrix.size()) == rows * rows,
+              "transpose: matrix must be rows x rows");
+}
+
+}  // namespace
+
+MachineTranspose transpose_dmm_naive(std::span<const Word> matrix,
+                                     std::int64_t rows, std::int64_t threads,
+                                     std::int64_t width, Cycle latency) {
+  check_matrix(matrix, rows);
+  const std::int64_t cells = rows * rows;
+  Machine machine = Machine::dmm(width, latency, threads, 2 * cells);
+  machine.shared_memory(0).load(0, matrix);
+  const Address out = cells;
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t p = t.num_threads();
+    // Output-major sweep: writes are contiguous; the transposed reads are
+    // stride-r — ONE bank per warp when w | r.  This is the anti-pattern.
+    for (Address idx = t.thread_id(); idx < cells; idx += p) {
+      const Address j = idx / rows, i = idx % rows;  // out[j][i] = in[i][j]
+      const Word v = co_await t.read(MemorySpace::kShared, i * rows + j);
+      co_await t.write(MemorySpace::kShared, out + idx, v);
+    }
+  });
+  return {machine.shared_memory(0).dump(out, cells), std::move(report)};
+}
+
+MachineTranspose transpose_dmm_skewed(std::span<const Word> matrix,
+                                      std::int64_t rows, std::int64_t threads,
+                                      std::int64_t width, Cycle latency) {
+  check_matrix(matrix, rows);
+  HMM_REQUIRE(rows % width == 0,
+              "skewed transpose: rows must be a multiple of the width");
+  const std::int64_t cells = rows * rows;
+  Machine machine = Machine::dmm(width, latency, threads, 3 * cells);
+  machine.shared_memory(0).load(0, matrix);
+  const Address skew = cells, out = 2 * cells;
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t p = t.num_threads();
+    // Pass 1: skew-store — S[i][(i+j) mod r] = in[i][j].  Consecutive j
+    // within a warp lands on consecutive (wrapped) columns: w distinct
+    // banks, conflict-free.
+    for (Address idx = t.thread_id(); idx < cells; idx += p) {
+      const Address i = idx / rows, j = idx % rows;
+      const Word v = co_await t.read(MemorySpace::kShared, idx);
+      co_await t.write(MemorySpace::kShared,
+                       skew + i * rows + (i + j) % rows, v);
+    }
+    co_await t.barrier();
+    // Pass 2: skew-load — out[j][i] = S[i][(i+j) mod r].  Consecutive i
+    // within a warp again touches w distinct banks.
+    for (Address idx = t.thread_id(); idx < cells; idx += p) {
+      const Address j = idx / rows, i = idx % rows;
+      const Word v = co_await t.read(MemorySpace::kShared,
+                                     skew + i * rows + (i + j) % rows);
+      co_await t.write(MemorySpace::kShared, out + idx, v);
+    }
+  });
+  return {machine.shared_memory(0).dump(out, cells), std::move(report)};
+}
+
+}  // namespace hmm::alg

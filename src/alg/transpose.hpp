@@ -1,0 +1,41 @@
+// Matrix transpose on the DMM — the canonical bank-conflict case study
+// from the paper's companion work on conflict-free offline permutation
+// ([13] "Simple memory machine models for GPUs", [19] "An implementation
+// of conflict-free off-line permutation on the GPU").
+//
+// Transposing an r x r row-major matrix makes one side of the copy
+// stride-r: when r is a multiple of the width w, a warp's column access
+// hits ONE bank w times (w pipeline stages).  The classic fix — also the
+// one [19] evaluates — is diagonal skewing: cell (i, j) is stored at
+// column (i + j) mod r, which puts every column access on w distinct
+// banks.  Both variants are implemented so the ablation bench can show
+// the w-fold gap the model predicts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "machine/machine.hpp"
+
+namespace hmm::alg {
+
+struct MachineTranspose {
+  std::vector<Word> out;  ///< row-major transposed matrix
+  RunReport report;
+};
+
+/// Naive transpose of a rows x rows row-major matrix on a standalone DMM:
+/// coalesced reads, stride-r writes (the conflicted side).
+MachineTranspose transpose_dmm_naive(std::span<const Word> matrix,
+                                     std::int64_t rows, std::int64_t threads,
+                                     std::int64_t width, Cycle latency);
+
+/// Conflict-free transpose via diagonal skewing: both the skewed store
+/// and the skewed load spread every warp over w distinct banks.
+/// Requires rows % width == 0.
+MachineTranspose transpose_dmm_skewed(std::span<const Word> matrix,
+                                      std::int64_t rows, std::int64_t threads,
+                                      std::int64_t width, Cycle latency);
+
+}  // namespace hmm::alg

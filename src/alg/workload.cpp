@@ -1,0 +1,39 @@
+#include "alg/workload.hpp"
+
+#include "core/error.hpp"
+
+namespace hmm::alg {
+
+std::vector<Word> random_words(std::int64_t n, std::uint64_t seed, Word lo,
+                               Word hi) {
+  HMM_REQUIRE(n >= 0, "random_words: n must be >= 0");
+  HMM_REQUIRE(lo <= hi, "random_words: lo must be <= hi");
+  Rng rng(seed);
+  std::vector<Word> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) out.push_back(rng.next_in(lo, hi));
+  return out;
+}
+
+std::vector<Word> iota_words(std::int64_t n, Word start) {
+  HMM_REQUIRE(n >= 0, "iota_words: n must be >= 0");
+  std::vector<Word> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) out.push_back(start + i);
+  return out;
+}
+
+std::vector<Word> box_filter(std::int64_t m) {
+  HMM_REQUIRE(m >= 1, "box_filter: m must be >= 1");
+  return std::vector<Word>(static_cast<std::size_t>(m), Word{1});
+}
+
+std::vector<Word> edge_filter(std::int64_t m) {
+  HMM_REQUIRE(m >= 2, "edge_filter: m must be >= 2");
+  std::vector<Word> out(static_cast<std::size_t>(m), Word{0});
+  out.front() = -1;
+  out.back() = 1;
+  return out;
+}
+
+}  // namespace hmm::alg

@@ -1,0 +1,27 @@
+// Deterministic workload generators shared by tests, examples and the
+// benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace hmm::alg {
+
+/// n uniform words in [lo, hi], reproducible from the seed.
+std::vector<Word> random_words(std::int64_t n, std::uint64_t seed,
+                               Word lo = -1000, Word hi = 1000);
+
+/// 0, 1, ..., n-1 — handy for tests whose expected results are closed
+/// forms.
+std::vector<Word> iota_words(std::int64_t n, Word start = 0);
+
+/// A box filter of m ones (moving-window sum when convolved).
+std::vector<Word> box_filter(std::int64_t m);
+
+/// A centered difference filter [-1, 0, ..., 0, 1] of length m >= 2.
+std::vector<Word> edge_filter(std::int64_t m);
+
+}  // namespace hmm::alg

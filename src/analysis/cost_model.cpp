@@ -1,0 +1,161 @@
+#include "analysis/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hmm::analysis {
+
+namespace {
+
+void check_common(std::int64_t n, std::int64_t p, std::int64_t w,
+                  std::int64_t l) {
+  HMM_REQUIRE(n >= 1 && p >= 1 && w >= 1 && l >= 1,
+              "cost model: n, p, w, l must all be >= 1");
+}
+
+double d_(std::int64_t v) { return static_cast<double>(v); }
+
+}  // namespace
+
+double Limitations::max_term() const {
+  return std::max({speedup, bandwidth, latency, reduction});
+}
+
+double log2_levels(std::int64_t x) {
+  HMM_REQUIRE(x >= 1, "log2_levels: x must be >= 1");
+  return x <= 1 ? 0.0 : std::log2(d_(x));
+}
+
+double contiguous_access_time(std::int64_t n, std::int64_t p, std::int64_t w,
+                              std::int64_t l) {
+  check_common(n, p, w, l);
+  return d_(n) / d_(w) + d_(n) * d_(l) / d_(p) + d_(l);
+}
+
+// ---- Table I --------------------------------------------------------------
+
+double sum_sequential_time(std::int64_t n) {
+  HMM_REQUIRE(n >= 1, "n must be >= 1");
+  return d_(n);
+}
+
+double sum_pram_time(std::int64_t n, std::int64_t p) {
+  HMM_REQUIRE(n >= 1 && p >= 1, "n, p must be >= 1");
+  return d_(n) / d_(p) + log2_levels(n);
+}
+
+double sum_mm_time(std::int64_t n, std::int64_t p, std::int64_t w,
+                   std::int64_t l) {
+  check_common(n, p, w, l);
+  return d_(n) / d_(w) + d_(n) * d_(l) / d_(p) + d_(l) * log2_levels(n);
+}
+
+double sum_hmm_straightforward_time(std::int64_t n, std::int64_t p0,
+                                    std::int64_t w, std::int64_t l) {
+  check_common(n, p0, w, l);
+  return d_(n) / d_(w) + d_(n) * d_(l) / d_(p0) + d_(l) * log2_levels(p0);
+}
+
+double sum_hmm_time(std::int64_t n, std::int64_t p, std::int64_t w,
+                    std::int64_t l, std::int64_t d) {
+  check_common(n, p, w, l);
+  HMM_REQUIRE(d >= 1, "d must be >= 1");
+  return d_(n) / d_(w) + d_(n) * d_(l) / d_(p) + d_(l) + log2_levels(n);
+}
+
+double conv_sequential_time(std::int64_t m, std::int64_t n) {
+  HMM_REQUIRE(m >= 1 && n >= 1, "m, n must be >= 1");
+  return d_(m) * d_(n);
+}
+
+double conv_pram_time(std::int64_t m, std::int64_t n, std::int64_t p) {
+  HMM_REQUIRE(m >= 1 && n >= 1 && p >= 1, "m, n, p must be >= 1");
+  return d_(m) * d_(n) / d_(p) + log2_levels(m);
+}
+
+double conv_mm_time(std::int64_t m, std::int64_t n, std::int64_t p,
+                    std::int64_t w, std::int64_t l) {
+  check_common(n, p, w, l);
+  HMM_REQUIRE(m >= 1, "m must be >= 1");
+  return d_(m) * d_(n) / d_(w) + d_(m) * d_(n) * d_(l) / d_(p) +
+         d_(l) * log2_levels(m);
+}
+
+double conv_hmm_time(std::int64_t m, std::int64_t n, std::int64_t p,
+                     std::int64_t w, std::int64_t l, std::int64_t d) {
+  check_common(n, p, w, l);
+  HMM_REQUIRE(m >= 1 && d >= 1, "m, d must be >= 1");
+  return d_(n) / d_(w) + d_(m) * d_(n) / (d_(d) * d_(w)) +
+         d_(n) * d_(l) / d_(p) + d_(l) + log2_levels(m);
+}
+
+// ---- Table II -------------------------------------------------------------
+
+Limitations sum_pram_bounds(std::int64_t n, std::int64_t p) {
+  HMM_REQUIRE(n >= 1 && p >= 1, "n, p must be >= 1");
+  Limitations lim;
+  lim.speedup = d_(n) / d_(p);
+  lim.reduction = log2_levels(n);
+  return lim;
+}
+
+Limitations sum_mm_bounds(std::int64_t n, std::int64_t p, std::int64_t w,
+                          std::int64_t l) {
+  check_common(n, p, w, l);
+  Limitations lim;
+  lim.speedup = d_(n) / d_(w);  // one warp of w additions per time unit
+  lim.bandwidth = d_(n) / d_(w);
+  lim.latency = d_(n) * d_(l) / d_(p) + d_(l);
+  lim.reduction = d_(l) * log2_levels(n);
+  return lim;
+}
+
+Limitations sum_hmm_bounds(std::int64_t n, std::int64_t p, std::int64_t w,
+                           std::int64_t l, std::int64_t d) {
+  check_common(n, p, w, l);
+  HMM_REQUIRE(d >= 1, "d must be >= 1");
+  Limitations lim;
+  lim.speedup = d_(n) / (d_(d) * d_(w));  // d warps execute per time unit
+  lim.bandwidth = d_(n) / d_(w);
+  lim.latency = d_(n) * d_(l) / d_(p) + d_(l);
+  lim.reduction = log2_levels(n);  // the tree can live in latency-1 shared
+  return lim;
+}
+
+Limitations conv_pram_bounds(std::int64_t m, std::int64_t n, std::int64_t p) {
+  HMM_REQUIRE(m >= 1 && n >= 1 && p >= 1, "m, n, p must be >= 1");
+  Limitations lim;
+  lim.speedup = d_(m) * d_(n) / d_(p);
+  lim.reduction = log2_levels(m);
+  return lim;
+}
+
+Limitations conv_mm_bounds(std::int64_t m, std::int64_t n, std::int64_t p,
+                           std::int64_t w, std::int64_t l) {
+  check_common(n, p, w, l);
+  HMM_REQUIRE(m >= 1, "m must be >= 1");
+  Limitations lim;
+  lim.speedup = d_(m) * d_(n) / d_(w);
+  lim.bandwidth = d_(n) / d_(w);
+  // Every one of the mn multiply operands travels over the latency-l
+  // memory on a single DMM/UMM (no latency-1 staging exists).
+  lim.latency = d_(m) * d_(n) * d_(l) / d_(p) + d_(l);
+  lim.reduction = d_(l) * log2_levels(m);
+  return lim;
+}
+
+Limitations conv_hmm_bounds(std::int64_t m, std::int64_t n, std::int64_t p,
+                            std::int64_t w, std::int64_t l, std::int64_t d) {
+  check_common(n, p, w, l);
+  HMM_REQUIRE(m >= 1 && d >= 1, "m, d must be >= 1");
+  Limitations lim;
+  lim.speedup = d_(m) * d_(n) / (d_(d) * d_(w));
+  lim.bandwidth = d_(n) / d_(w);
+  lim.latency = d_(n) * d_(l) / d_(p) + d_(l);
+  lim.reduction = log2_levels(m);
+  return lim;
+}
+
+}  // namespace hmm::analysis

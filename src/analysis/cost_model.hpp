@@ -1,0 +1,105 @@
+// Closed-form computing-time predictions — the right-hand sides of every
+// lemma/theorem in the paper (Table I) — and the lower-bound
+// "limitations" of Table II.
+//
+// All forms are Θ-shapes evaluated with unit constants.  The benchmark
+// harness divides measured simulated time by these predictions and checks
+// that the ratio stays inside a constant band across the whole parameter
+// sweep; the tests in tests/cost_model_test.cpp pin the algebra itself.
+//
+// Parameter names follow the paper: n = input size, m = filter size
+// (convolution, m <= n), p = total threads, w = width, l = latency,
+// d = number of DMMs.
+#pragma once
+
+#include <cstdint>
+
+namespace hmm::analysis {
+
+/// The four Table-II limitation terms of one (model, problem) pair.
+/// A term that does not apply to a model (e.g. bandwidth on the PRAM) is
+/// zero.  Any correct algorithm's time is Ω(max_term()); an algorithm
+/// achieving O(total()) is therefore time optimal.
+struct Limitations {
+  double speedup = 0.0;    ///< work / (ops the model executes per time unit)
+  double bandwidth = 0.0;  ///< words that must cross / (w words per unit)
+  double latency = 0.0;    ///< reads needed * l / p  (one in-flight/thread)
+  double reduction = 0.0;  ///< depth of the value-dependence tree
+
+  double total() const {
+    return speedup + bandwidth + latency + reduction;
+  }
+  double max_term() const;
+};
+
+// --------------------------------------------------------------------------
+// Building blocks
+// --------------------------------------------------------------------------
+
+/// log2(x) clamped below at 0 (log2 of anything <= 1 counts as 0 levels).
+double log2_levels(std::int64_t x);
+
+/// Lemma 1 / Theorem 2: contiguous access to n words with p threads,
+/// width w, latency l:  n/w + nl/p + l.
+double contiguous_access_time(std::int64_t n, std::int64_t p, std::int64_t w,
+                              std::int64_t l);
+
+// --------------------------------------------------------------------------
+// Table I — computing time of the presented algorithms
+// --------------------------------------------------------------------------
+
+double sum_sequential_time(std::int64_t n);                       ///< n
+double sum_pram_time(std::int64_t n, std::int64_t p);             ///< n/p + log n (Lemma 3)
+/// Lemma 5 (DMM and UMM): n/w + nl/p + l*log n.
+double sum_mm_time(std::int64_t n, std::int64_t p, std::int64_t w,
+                   std::int64_t l);
+/// Lemma 6 (straightforward HMM sum on DMM(0) with p0 threads):
+/// n/w + nl/p0 + l*log(p0).
+double sum_hmm_straightforward_time(std::int64_t n, std::int64_t p0,
+                                    std::int64_t w, std::int64_t l);
+/// Theorem 7 (HMM): n/w + nl/p + l + log n.
+double sum_hmm_time(std::int64_t n, std::int64_t p, std::int64_t w,
+                    std::int64_t l, std::int64_t d);
+
+double conv_sequential_time(std::int64_t m, std::int64_t n);      ///< m*n
+double conv_pram_time(std::int64_t m, std::int64_t n,
+                      std::int64_t p);                            ///< mn/p + log m (Lemma 4)
+/// Theorem 8 (DMM and UMM): mn/w + mnl/p + l*log m.
+double conv_mm_time(std::int64_t m, std::int64_t n, std::int64_t p,
+                    std::int64_t w, std::int64_t l);
+/// Theorem 9 / Corollary 10 (HMM): n/w + mn/(dw) + nl/p + l + log m.
+double conv_hmm_time(std::int64_t m, std::int64_t n, std::int64_t p,
+                     std::int64_t w, std::int64_t l, std::int64_t d);
+
+// --------------------------------------------------------------------------
+// Table II — lower bounds
+// --------------------------------------------------------------------------
+// Derivations (paper §V–§IX):
+//  * speed-up: the PRAM executes p ops per unit, a single DMM/UMM executes
+//    one warp = w ops per unit, the HMM executes d warps = dw ops per unit.
+//  * bandwidth: n words must cross a width-w memory interface at least
+//    once: n/w.  (Not applicable to the PRAM.)
+//  * latency: each thread has at most one request in flight, so p threads
+//    complete at most p reads per l time units; R required reads give
+//    Rl/p, plus l because at least one read must complete end-to-end.
+//    R = n for the sum and the HMM convolution (data is staged into
+//    latency-1 shared memory once), but R = mn on a single DMM/UMM where
+//    every one of the mn multiply operands comes over the latency-l
+//    memory.
+//  * reduction: a rooted binary tree with k leaves has depth >= log k,
+//    and each level costs one memory round-trip: l*log k on a latency-l
+//    machine, log k when the tree lives in latency-1 shared memory (HMM).
+
+Limitations sum_pram_bounds(std::int64_t n, std::int64_t p);
+Limitations sum_mm_bounds(std::int64_t n, std::int64_t p, std::int64_t w,
+                          std::int64_t l);
+Limitations sum_hmm_bounds(std::int64_t n, std::int64_t p, std::int64_t w,
+                           std::int64_t l, std::int64_t d);
+
+Limitations conv_pram_bounds(std::int64_t m, std::int64_t n, std::int64_t p);
+Limitations conv_mm_bounds(std::int64_t m, std::int64_t n, std::int64_t p,
+                           std::int64_t w, std::int64_t l);
+Limitations conv_hmm_bounds(std::int64_t m, std::int64_t n, std::int64_t p,
+                            std::int64_t w, std::int64_t l, std::int64_t d);
+
+}  // namespace hmm::analysis

@@ -1,0 +1,38 @@
+#include "analysis/shape.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hmm::analysis {
+
+ShapeSummary summarize_shape(const std::vector<ShapePoint>& points) {
+  HMM_REQUIRE(!points.empty(), "summarize_shape: no points");
+  std::vector<double> ratios;
+  ratios.reserve(points.size());
+  for (const ShapePoint& pt : points) {
+    HMM_REQUIRE(pt.predicted > 0.0 && pt.measured > 0.0,
+                "summarize_shape: predictions and measurements must be "
+                "positive");
+    ratios.push_back(pt.measured / pt.predicted);
+  }
+  ShapeSummary s;
+  s.points = static_cast<std::int64_t>(points.size());
+  s.ratio_min = *std::min_element(ratios.begin(), ratios.end());
+  s.ratio_max = *std::max_element(ratios.begin(), ratios.end());
+  s.ratio_geomean = geometric_mean(ratios);
+  s.spread = s.ratio_max / s.ratio_min;
+  return s;
+}
+
+bool within_band(const std::vector<ShapePoint>& points, double lo,
+                 double hi) {
+  HMM_REQUIRE(lo > 0.0 && lo <= hi, "within_band: need 0 < lo <= hi");
+  for (const ShapePoint& pt : points) {
+    const double r = pt.measured / pt.predicted;
+    if (r < lo || r > hi) return false;
+  }
+  return true;
+}
+
+}  // namespace hmm::analysis

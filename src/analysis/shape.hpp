@@ -1,0 +1,38 @@
+// Shape checking: does a sweep of measured simulated times track a
+// predicted Θ-form within a constant band?
+//
+// This is the acceptance criterion of the reproduction (DESIGN.md §3):
+// for each table row we collect (predicted, measured) pairs across 2-3
+// orders of magnitude of every parameter and verify
+//     lo <= measured/predicted <= hi
+// for fixed constants lo, hi — i.e. measured = Θ(predicted).
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+
+namespace hmm::analysis {
+
+struct ShapePoint {
+  double predicted = 0.0;
+  double measured = 0.0;
+};
+
+struct ShapeSummary {
+  std::int64_t points = 0;
+  double ratio_min = 0.0;
+  double ratio_max = 0.0;
+  double ratio_geomean = 0.0;
+  double spread = 0.0;  ///< ratio_max / ratio_min; small spread = good fit
+};
+
+/// Summarise measured/predicted ratios over a sweep.  All predictions and
+/// measurements must be strictly positive.
+ShapeSummary summarize_shape(const std::vector<ShapePoint>& points);
+
+/// True iff every ratio lies in [lo, hi].
+bool within_band(const std::vector<ShapePoint>& points, double lo, double hi);
+
+}  // namespace hmm::analysis

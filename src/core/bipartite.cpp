@@ -1,0 +1,111 @@
+#include "core/bipartite.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hmm {
+
+namespace {
+
+/// Kuhn's augmenting-path matching over the remaining (uncoloured)
+/// edges.  Works on adjacency lists of edge indices; `used` marks edges
+/// already claimed by previous matchings.
+class MatchingFinder {
+ public:
+  MatchingFinder(std::int64_t sides, const std::vector<BipartiteEdge>& edges,
+                 const std::vector<bool>& used)
+      : sides_(sides), edges_(edges), used_(used) {
+    adj_.resize(static_cast<std::size_t>(sides));
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!used[e]) {
+        adj_[static_cast<std::size_t>(edges[e].left)].push_back(
+            static_cast<std::int64_t>(e));
+      }
+    }
+  }
+
+  /// Returns for each left vertex the edge index matched to it, or -1
+  /// when no perfect matching exists.
+  std::vector<std::int64_t> find_perfect() {
+    match_right_.assign(static_cast<std::size_t>(sides_), -1);
+    match_left_edge_.assign(static_cast<std::size_t>(sides_), -1);
+    for (std::int64_t v = 0; v < sides_; ++v) {
+      visited_.assign(static_cast<std::size_t>(sides_), false);
+      if (!augment(v)) return {};
+    }
+    return match_left_edge_;
+  }
+
+ private:
+  bool augment(std::int64_t left) {
+    for (std::int64_t e : adj_[static_cast<std::size_t>(left)]) {
+      const std::int64_t r = edges_[static_cast<std::size_t>(e)].right;
+      if (visited_[static_cast<std::size_t>(r)]) continue;
+      visited_[static_cast<std::size_t>(r)] = true;
+      const std::int64_t owner = match_right_[static_cast<std::size_t>(r)];
+      if (owner == -1 || augment(owner)) {
+        match_right_[static_cast<std::size_t>(r)] = left;
+        match_left_edge_[static_cast<std::size_t>(left)] = e;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::int64_t sides_;
+  const std::vector<BipartiteEdge>& edges_;
+  const std::vector<bool>& used_;
+  std::vector<std::vector<std::int64_t>> adj_;
+  std::vector<std::int64_t> match_right_;
+  std::vector<std::int64_t> match_left_edge_;
+  std::vector<bool> visited_;
+};
+
+}  // namespace
+
+std::vector<std::vector<BipartiteEdge>> decompose_regular_bipartite(
+    std::int64_t sides, std::vector<BipartiteEdge> edges) {
+  HMM_REQUIRE(sides >= 1, "decompose: need >= 1 vertex per side");
+  HMM_REQUIRE(!edges.empty() &&
+                  static_cast<std::int64_t>(edges.size()) % sides == 0,
+              "decompose: edge count must be a positive multiple of sides");
+  const std::int64_t k = static_cast<std::int64_t>(edges.size()) / sides;
+
+  std::vector<std::int64_t> left_deg(static_cast<std::size_t>(sides), 0);
+  std::vector<std::int64_t> right_deg(static_cast<std::size_t>(sides), 0);
+  for (const BipartiteEdge& e : edges) {
+    HMM_REQUIRE(e.left >= 0 && e.left < sides && e.right >= 0 &&
+                    e.right < sides,
+                "decompose: edge endpoint out of range");
+    ++left_deg[static_cast<std::size_t>(e.left)];
+    ++right_deg[static_cast<std::size_t>(e.right)];
+  }
+  for (std::int64_t v = 0; v < sides; ++v) {
+    HMM_REQUIRE(left_deg[static_cast<std::size_t>(v)] == k &&
+                    right_deg[static_cast<std::size_t>(v)] == k,
+                "decompose: graph is not k-regular");
+  }
+
+  std::vector<bool> used(edges.size(), false);
+  std::vector<std::vector<BipartiteEdge>> matchings;
+  matchings.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t round = 0; round < k; ++round) {
+    MatchingFinder finder(sides, edges, used);
+    const std::vector<std::int64_t> matched = finder.find_perfect();
+    HMM_ASSERT(!matched.empty(),
+               "a k-regular bipartite multigraph must contain a perfect "
+               "matching (König)");
+    std::vector<BipartiteEdge> group;
+    group.reserve(static_cast<std::size_t>(sides));
+    for (std::int64_t v = 0; v < sides; ++v) {
+      const std::int64_t e = matched[static_cast<std::size_t>(v)];
+      used[static_cast<std::size_t>(e)] = true;
+      group.push_back(edges[static_cast<std::size_t>(e)]);
+    }
+    matchings.push_back(std::move(group));
+  }
+  return matchings;
+}
+
+}  // namespace hmm

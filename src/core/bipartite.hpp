@@ -1,0 +1,37 @@
+// Regular bipartite multigraph edge colouring — the combinatorial engine
+// behind conflict-free offline permutation ([13] §"offline permutation",
+// [19]).
+//
+// A k-regular bipartite multigraph on w+w vertices decomposes into k
+// perfect matchings (König).  Each matching becomes one conflict-free
+// round of a permutation schedule: its w edges touch every source bank
+// and every destination bank exactly once.
+//
+// Algorithm: repeated augmenting-path perfect matching (Kuhn) peeling —
+// find a perfect matching, remove it, the remainder is (k-1)-regular,
+// repeat.  O(k * w * E) worst case, plenty for schedule construction
+// (host-side, outside the simulated clock).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hmm {
+
+/// One edge of the multigraph.  `id` is caller data (e.g. the element
+/// index a permutation schedule moves on this edge).
+struct BipartiteEdge {
+  std::int64_t left = 0;   ///< 0 <= left < sides
+  std::int64_t right = 0;  ///< 0 <= right < sides
+  std::int64_t id = 0;
+};
+
+/// Decompose a k-regular bipartite multigraph (every left and every
+/// right vertex has degree exactly k) into k perfect matchings.
+/// Returns k groups of `sides` edges each; every group touches each
+/// left and each right vertex exactly once.  Throws PreconditionError
+/// if the graph is not regular.
+std::vector<std::vector<BipartiteEdge>> decompose_regular_bipartite(
+    std::int64_t sides, std::vector<BipartiteEdge> edges);
+
+}  // namespace hmm

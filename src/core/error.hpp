@@ -1,0 +1,57 @@
+// Error handling for hmm-sim.
+//
+// Following C++ Core Guidelines I.6/E.x we validate preconditions of the
+// public API with checks that stay enabled in release builds (simulation
+// results are meaningless if the model parameters are invalid, so the
+// cost of the checks -- all outside inner loops -- is worth it).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace hmm {
+
+/// Thrown when a caller violates a documented precondition of the public
+/// API (e.g. a non-positive width, a thread count not divisible by the
+/// number of DMMs where an algorithm requires it).
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when the simulator detects an internal inconsistency.  Seeing
+/// this exception always indicates a bug in hmm-sim itself.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition(const char* expr, const std::string& msg,
+                                     std::source_location loc);
+[[noreturn]] void throw_internal(const char* expr, const std::string& msg,
+                                 std::source_location loc);
+
+}  // namespace detail
+
+}  // namespace hmm
+
+/// Validate a documented precondition of a public entry point.
+#define HMM_REQUIRE(expr, msg)                                      \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::hmm::detail::throw_precondition(#expr, (msg),               \
+                                        std::source_location::current()); \
+    }                                                               \
+  } while (false)
+
+/// Validate an internal invariant of the simulator.
+#define HMM_ASSERT(expr, msg)                                       \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::hmm::detail::throw_internal(#expr, (msg),                   \
+                                    std::source_location::current());     \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,61 @@
+// Small integer helpers used throughout the cost formulas and simulators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace hmm {
+
+/// ceil(a / b) for non-negative a and positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (b > 0 && a >= 0) ? (a + b - 1) / b
+                           : throw PreconditionError("ceil_div: a>=0, b>0");
+}
+
+/// floor(a / b) for non-negative a and positive b.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  return (b > 0 && a >= 0) ? a / b
+                           : throw PreconditionError("floor_div: a>=0, b>0");
+}
+
+/// True iff x is a power of two (x >= 1).
+constexpr bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::int64_t ilog2_floor(std::int64_t x) {
+  if (x < 1) throw PreconditionError("ilog2_floor: x>=1");
+  std::int64_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; ceil(log2(1)) == 0.
+constexpr std::int64_t ilog2_ceil(std::int64_t x) {
+  if (x < 1) throw PreconditionError("ilog2_ceil: x>=1");
+  return is_pow2(x) ? ilog2_floor(x) : ilog2_floor(x) + 1;
+}
+
+/// Validate a non-negative element count and convert it to std::size_t —
+/// for use in constructor member-initialiser lists, BEFORE any container
+/// is sized from caller input.
+inline std::size_t checked_size(std::int64_t n, const char* what) {
+  if (n < 0) throw PreconditionError(std::string(what) + ": size must be >= 0");
+  return static_cast<std::size_t>(n);
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::int64_t next_pow2(std::int64_t x) {
+  if (x < 1) throw PreconditionError("next_pow2: x>=1");
+  std::int64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace hmm

@@ -1,0 +1,67 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace hmm {
+
+void RunningStats::add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::mean() const {
+  HMM_REQUIRE(count_ >= 1, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  HMM_REQUIRE(count_ >= 1, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  HMM_REQUIRE(count_ >= 1, "max of empty sample");
+  return max_;
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  HMM_REQUIRE(!xs.empty(), "geometric_mean of empty sample");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    HMM_REQUIRE(x > 0.0, "geometric_mean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  HMM_REQUIRE(!xs.empty(), "percentile of empty sample");
+  HMM_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace hmm

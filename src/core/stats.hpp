@@ -1,0 +1,37 @@
+// Streaming statistics used by the benchmark harness to summarise
+// measured-vs-predicted ratios across parameter sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hmm {
+
+/// Welford's online mean/variance plus min/max, for doubles.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< population variance; 0 when count < 2
+  double stddev() const;
+  double min() const;  ///< requires count() >= 1
+  double max() const;  ///< requires count() >= 1
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive samples (the right average for
+/// measured/predicted time ratios).
+double geometric_mean(const std::vector<double>& xs);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation on a copy.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace hmm

@@ -1,0 +1,40 @@
+// Fundamental vocabulary types shared by every subsystem of hmm-sim.
+//
+// The simulator measures everything in the paper's "time units"; we call
+// them cycles.  All quantities that appear in the paper's bounds (n, m, p,
+// w, l, d) are carried as 64-bit integers so that parameter sweeps at
+// GPU-like scales (p up to 2^15, n up to 2^24, l up to 2^10) cannot
+// overflow intermediate products such as m*n*l.
+#pragma once
+
+#include <cstdint>
+
+namespace hmm {
+
+/// A point in simulated time, in the paper's time units.
+using Cycle = std::int64_t;
+
+/// A word address in a (shared or global) memory.  Addresses index words,
+/// not bytes: the paper's memory cells m[0], m[1], ... hold one word each.
+using Address = std::int64_t;
+
+/// The value held by one memory cell.  The paper's algorithms only need
+/// integer arithmetic; a 64-bit word keeps sums of 2^24 inputs exact.
+using Word = std::int64_t;
+
+/// Global thread identifier within one machine (0-based, dense).
+using ThreadId = std::int64_t;
+
+/// Warp identifier within one machine (0-based, dense).
+using WarpId = std::int64_t;
+
+/// Index of a memory bank B[j] (DMM view, j = address mod width).
+using BankId = std::int64_t;
+
+/// Index of an address group A[j] (UMM view, j = address div width).
+using GroupId = std::int64_t;
+
+/// Index of a DMM inside an HMM.
+using DmmId = std::int64_t;
+
+}  // namespace hmm

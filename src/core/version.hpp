@@ -1,0 +1,12 @@
+// Library version, reported by examples and benches so recorded outputs
+// identify the build they came from.
+#pragma once
+
+namespace hmm {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace hmm

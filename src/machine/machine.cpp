@@ -1,0 +1,531 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "core/error.hpp"
+#include "mm/batch_cost.hpp"
+
+namespace hmm {
+
+// ---------------------------------------------------------------------------
+// Machine construction
+// ---------------------------------------------------------------------------
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)),
+      topology_(config_.width, config_.threads_per_dmm) {
+  HMM_REQUIRE(config_.shared.has_value() || config_.global.has_value(),
+              "a machine needs at least one memory");
+  const MemoryGeometry geom(config_.width);
+  if (config_.shared) {
+    HMM_REQUIRE(config_.shared->size >= 1 && config_.shared->latency >= 1,
+                "invalid shared memory spec");
+    shared_.reserve(static_cast<std::size_t>(topology_.num_dmms()));
+    for (DmmId j = 0; j < topology_.num_dmms(); ++j) {
+      shared_.emplace_back(geom, *config_.shared, /*dmm=*/true);
+    }
+  }
+  if (config_.global) {
+    HMM_REQUIRE(config_.global->size >= 1 && config_.global->latency >= 1,
+                "invalid global memory spec");
+    global_.emplace(geom, *config_.global, /*dmm=*/false);
+  }
+}
+
+Machine Machine::dmm(std::int64_t width, Cycle latency,
+                     std::int64_t num_threads, std::int64_t memory_size,
+                     bool record_trace) {
+  MachineConfig cfg;
+  cfg.width = width;
+  cfg.threads_per_dmm = {num_threads};
+  cfg.shared = MemorySpec{memory_size, latency};
+  cfg.record_trace = record_trace;
+  return Machine(std::move(cfg));
+}
+
+Machine Machine::umm(std::int64_t width, Cycle latency,
+                     std::int64_t num_threads, std::int64_t memory_size,
+                     bool record_trace) {
+  MachineConfig cfg;
+  cfg.width = width;
+  cfg.threads_per_dmm = {num_threads};
+  cfg.global = MemorySpec{memory_size, latency};
+  cfg.record_trace = record_trace;
+  return Machine(std::move(cfg));
+}
+
+Machine Machine::hmm(std::int64_t width, Cycle global_latency,
+                     std::int64_t num_dmms, std::int64_t threads_per_dmm,
+                     std::int64_t shared_size, std::int64_t global_size,
+                     bool record_trace, Cycle shared_latency) {
+  MachineConfig cfg;
+  cfg.width = width;
+  cfg.threads_per_dmm.assign(static_cast<std::size_t>(num_dmms),
+                             threads_per_dmm);
+  cfg.shared = MemorySpec{shared_size, shared_latency};
+  cfg.global = MemorySpec{global_size, global_latency};
+  cfg.record_trace = record_trace;
+  return Machine(std::move(cfg));
+}
+
+Cycle Machine::shared_latency() const {
+  HMM_REQUIRE(has_shared(), "machine has no shared memory");
+  return shared_.front().pipeline.latency();
+}
+
+Cycle Machine::global_latency() const {
+  HMM_REQUIRE(has_global(), "machine has no global memory");
+  return global_->pipeline.latency();
+}
+
+BankMemory& Machine::shared_memory(DmmId dmm) {
+  HMM_REQUIRE(has_shared(), "machine has no shared memory");
+  HMM_REQUIRE(dmm >= 0 && dmm < num_dmms(), "DMM id out of range");
+  return shared_[static_cast<std::size_t>(dmm)].memory;
+}
+
+const BankMemory& Machine::shared_memory(DmmId dmm) const {
+  return const_cast<Machine*>(this)->shared_memory(dmm);
+}
+
+BankMemory& Machine::global_memory() {
+  HMM_REQUIRE(has_global(), "machine has no global memory");
+  return global_->memory;
+}
+
+const BankMemory& Machine::global_memory() const {
+  return const_cast<Machine*>(this)->global_memory();
+}
+
+// ---------------------------------------------------------------------------
+// Engine — the event-driven warp scheduler
+// ---------------------------------------------------------------------------
+
+class Engine {
+ public:
+  Engine(Machine& machine, const Machine::KernelFn& kernel)
+      : machine_(machine), kernel_(kernel) {}
+
+  RunReport run();
+
+ private:
+  struct ThreadState {
+    ThreadCtx ctx;
+    SimTask task;
+    bool done = false;
+    bool need_resume = true;
+  };
+
+  struct WarpState {
+    WarpId id = 0;
+    DmmId dmm = 0;
+    ThreadId first = 0;       // global id of lane 0
+    std::int64_t count = 0;   // threads in this warp
+    Cycle clock = 0;
+    std::int64_t live = 0;
+    bool waiting = false;   // parked at an unreleased barrier
+    bool finished = false;
+  };
+
+  /// One warp instruction issues per time unit per DMM (SIMD dispatch).
+  struct ExecUnit {
+    Cycle next_free = 0;
+    std::int64_t slots = 0;
+
+    Cycle acquire(Cycle ready, std::int64_t n) {
+      const Cycle begin = std::max(ready, next_free);
+      next_free = begin + n;
+      slots += n;
+      return begin;
+    }
+  };
+
+  struct BarrierDomain {
+    std::int64_t active = 0;  // unfinished warps in this domain
+    std::vector<WarpId> arrived;
+    Cycle max_arrival = 0;
+  };
+
+  void launch_threads();
+  void round(WarpState& w);
+  void resume_flagged(WarpState& w);
+  void memory_round(WarpState& w, MemorySpace space);
+  void compute_round(WarpState& w);
+  void barrier_round(WarpState& w, BarrierScope scope);
+  void finish_warp(WarpState& w);
+  void release_if_complete(BarrierDomain& domain);
+  void release(BarrierDomain& domain);
+
+  Machine::Port& port_for(DmmId dmm, MemorySpace space);
+  ThreadState& thread(ThreadId t) {
+    return threads_[static_cast<std::size_t>(t)];
+  }
+  void requeue(const WarpState& w) { queue_.insert({w.clock, w.id}); }
+
+  Machine& machine_;
+  const Machine::KernelFn& kernel_;
+
+  std::vector<ThreadState> threads_;
+  std::vector<WarpState> warps_;
+  std::vector<ExecUnit> exec_;
+  std::vector<BarrierDomain> dmm_domains_;
+  BarrierDomain machine_domain_;
+  std::set<std::pair<Cycle, WarpId>> queue_;
+  RunReport report_;
+};
+
+Machine::Port& Engine::port_for(DmmId dmm, MemorySpace space) {
+  if (space == MemorySpace::kShared) {
+    HMM_REQUIRE(machine_.has_shared(),
+                "kernel accessed shared memory on a machine without one "
+                "(a standalone UMM has only a global memory)");
+    return machine_.shared_[static_cast<std::size_t>(dmm)];
+  }
+  HMM_REQUIRE(machine_.has_global(),
+              "kernel accessed global memory on a machine without one "
+              "(a standalone DMM has only a shared memory)");
+  return *machine_.global_;
+}
+
+void Engine::launch_threads() {
+  const Topology& topo = machine_.topology();
+  const std::int64_t p = topo.total_threads();
+  threads_.resize(static_cast<std::size_t>(p));
+
+  // Fill thread identities first: coroutine frames hold references into
+  // threads_, which must never reallocate after the first kernel launch.
+  for (DmmId j = 0; j < topo.num_dmms(); ++j) {
+    const ThreadId base = topo.first_thread(j);
+    const WarpId wbase = topo.first_warp(j);
+    for (std::int64_t i = 0; i < topo.threads_on(j); ++i) {
+      ThreadCtx& c = thread(base + i).ctx;
+      c.thread_id_ = base + i;
+      c.local_id_ = i;
+      c.dmm_ = j;
+      c.warp_ = wbase + i / topo.width();
+      c.lane_ = i % topo.width();
+      c.width_ = topo.width();
+      c.num_dmms_ = topo.num_dmms();
+      c.num_threads_ = p;
+      c.dmm_threads_ = topo.threads_on(j);
+    }
+  }
+  for (ThreadId t = 0; t < p; ++t) {
+    thread(t).task = kernel_(thread(t).ctx);
+    HMM_REQUIRE(thread(t).task.valid(),
+                "kernel callable must return a live SimTask coroutine");
+    thread(t).ctx.leaf_ = thread(t).task.handle();
+  }
+
+  warps_.resize(static_cast<std::size_t>(topo.total_warps()));
+  for (DmmId j = 0; j < topo.num_dmms(); ++j) {
+    const WarpId wbase = topo.first_warp(j);
+    for (WarpId k = 0; k < topo.warps_on(j); ++k) {
+      WarpState& w = warps_[static_cast<std::size_t>(wbase + k)];
+      w.id = wbase + k;
+      w.dmm = j;
+      w.first = topo.first_thread(j) + k * topo.width();
+      w.count = std::min(topo.width(), topo.threads_on(j) - k * topo.width());
+      w.live = w.count;
+    }
+  }
+
+  exec_.assign(static_cast<std::size_t>(topo.num_dmms()), ExecUnit{});
+  dmm_domains_.assign(static_cast<std::size_t>(topo.num_dmms()),
+                      BarrierDomain{});
+  for (DmmId j = 0; j < topo.num_dmms(); ++j) {
+    dmm_domains_[static_cast<std::size_t>(j)].active = topo.warps_on(j);
+  }
+  machine_domain_.active = topo.total_warps();
+
+  for (const WarpState& w : warps_) requeue(w);
+}
+
+RunReport Engine::run() {
+  // Fresh counters (pipelines AND per-bank traffic); memory CONTENTS are
+  // owned by the Machine and persist across runs.
+  for (auto& port : machine_.shared_) {
+    port.pipeline.reset();
+    port.memory.reset_traffic();
+  }
+  if (machine_.global_) {
+    machine_.global_->pipeline.reset();
+    machine_.global_->memory.reset_traffic();
+  }
+
+  launch_threads();
+  report_.threads = machine_.num_threads();
+  report_.warps = machine_.topology().total_warps();
+
+  while (!queue_.empty()) {
+    const auto [t, wid] = *queue_.begin();
+    queue_.erase(queue_.begin());
+    round(warps_[static_cast<std::size_t>(wid)]);
+  }
+
+  for (const WarpState& w : warps_) {
+    HMM_REQUIRE(w.finished,
+                "deadlock: a warp is still blocked at a barrier after all "
+                "runnable warps completed (mismatched barrier calls?)");
+  }
+
+  report_.shared_pipelines.reserve(machine_.shared_.size());
+  for (const auto& port : machine_.shared_) {
+    report_.shared_pipelines.push_back(port.pipeline.stats());
+  }
+  if (machine_.global_) {
+    report_.global_pipeline = machine_.global_->pipeline.stats();
+  }
+  report_.exec.reserve(exec_.size());
+  for (const ExecUnit& e : exec_) {
+    report_.exec.push_back(ExecStats{e.slots, e.next_free});
+  }
+  return std::move(report_);
+}
+
+void Engine::resume_flagged(WarpState& w) {
+  for (std::int64_t i = 0; i < w.count; ++i) {
+    ThreadState& ts = thread(w.first + i);
+    if (ts.done || !ts.need_resume) continue;
+    ts.need_resume = false;
+    ts.ctx.pending_ = Op{};
+    // Resume the innermost active coroutine (a SubTask when the kernel is
+    // inside a device subroutine); completion transfers control back up
+    // the call chain within this resume.
+    ts.ctx.leaf_.resume();
+    if (ts.task.done()) {
+      ts.task.rethrow_if_failed();
+      ts.done = true;
+      --w.live;
+    } else {
+      HMM_ASSERT(ts.ctx.pending_.kind != Op::Kind::kNone,
+                 "thread suspended without posting an operation");
+    }
+  }
+}
+
+void Engine::round(WarpState& w) {
+  resume_flagged(w);
+  if (w.live == 0) {
+    finish_warp(w);
+    return;
+  }
+
+  // Classify the pending ops of live threads; service exactly one kind per
+  // round, by fixed priority: shared memory, global memory, compute,
+  // barrier.  (Uniform SIMD kernels only ever present one kind at a time;
+  // the priority order makes divergent programs deterministic.)
+  bool has_shared = false, has_global = false, has_compute = false;
+  bool has_barrier = false;
+  std::int64_t warp_syncs = 0;
+  BarrierScope scope = BarrierScope::kDmm;
+  bool scope_set = false;
+  for (std::int64_t i = 0; i < w.count; ++i) {
+    const ThreadState& ts = thread(w.first + i);
+    if (ts.done) continue;
+    const Op& op = ts.ctx.pending_;
+    switch (op.kind) {
+      case Op::Kind::kRead:
+      case Op::Kind::kWrite:
+        (op.space == MemorySpace::kShared ? has_shared : has_global) = true;
+        break;
+      case Op::Kind::kCompute:
+        has_compute = true;
+        break;
+      case Op::Kind::kBarrier:
+        if (scope_set) {
+          HMM_REQUIRE(scope == op.scope,
+                      "threads of one warp reached barriers of different "
+                      "scopes in the same step");
+        }
+        scope = op.scope;
+        scope_set = true;
+        has_barrier = true;
+        break;
+      case Op::Kind::kWarpSync:
+        ++warp_syncs;
+        break;
+      case Op::Kind::kNone:
+        HMM_ASSERT(false, "live thread with no pending operation");
+    }
+  }
+
+  if (has_shared) {
+    memory_round(w, MemorySpace::kShared);
+  } else if (has_global) {
+    memory_round(w, MemorySpace::kGlobal);
+  } else if (has_compute) {
+    compute_round(w);
+  } else if (warp_syncs == w.live) {
+    // Every live lane reached the warp sync: reconverge for free.
+    for (std::int64_t i = 0; i < w.count; ++i) {
+      ThreadState& ts = thread(w.first + i);
+      if (!ts.done) ts.need_resume = true;
+    }
+    requeue(w);
+  } else {
+    HMM_REQUIRE(!has_barrier || warp_syncs == 0,
+                "threads of one warp are split between barrier() and "
+                "warp_sync() — they can never reconverge");
+    HMM_ASSERT(has_barrier, "warp round with no classified operation");
+    barrier_round(w, scope);
+  }
+}
+
+void Engine::memory_round(WarpState& w, MemorySpace space) {
+  WarpBatch batch;
+  std::vector<ThreadId> participants;
+  batch.reserve(static_cast<std::size_t>(w.count));
+  participants.reserve(static_cast<std::size_t>(w.count));
+  for (std::int64_t i = 0; i < w.count; ++i) {
+    ThreadState& ts = thread(w.first + i);
+    if (ts.done) continue;
+    const Op& op = ts.ctx.pending_;
+    if ((op.kind != Op::Kind::kRead && op.kind != Op::Kind::kWrite) ||
+        op.space != space) {
+      continue;
+    }
+    batch.push_back(Request{
+        .lane = i,
+        .kind = op.kind == Op::Kind::kRead ? AccessKind::kRead
+                                           : AccessKind::kWrite,
+        .address = op.address,
+        .value = op.value,
+    });
+    participants.push_back(w.first + i);
+  }
+  HMM_ASSERT(!batch.empty(), "memory round without requests");
+
+  Machine::Port& port = port_for(w.dmm, space);
+  const std::int64_t stages =
+      port.dmm_pricing ? dmm_batch_stages(port.memory.geometry(), batch)
+                       : umm_batch_stages(port.memory.geometry(), batch);
+
+  // Issuing the access is one warp instruction on this DMM's SIMD engine;
+  // the pipeline then carries the batch independently (latency hiding).
+  const Cycle issue =
+      exec_[static_cast<std::size_t>(w.dmm)].acquire(w.clock, 1);
+  const PipelineSlot slot = port.pipeline.inject(
+      issue, stages, static_cast<std::int64_t>(batch.size()));
+  const ServicedBatch served = port.memory.service(batch);
+
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    ThreadState& ts = thread(participants[i]);
+    ts.ctx.delivered_ = served.values[i];
+    ts.need_resume = true;
+  }
+  w.clock = slot.data_ready;
+  requeue(w);
+
+  if (machine_.config_.record_trace) {
+    report_.trace.push_back(TraceEvent{
+        .kind = TraceEvent::Kind::kMemory,
+        .warp = w.id,
+        .dmm = w.dmm,
+        .space = space,
+        .requests = static_cast<std::int64_t>(batch.size()),
+        .stages = stages,
+        .begin = slot.inject_begin,
+        .end = slot.inject_end,
+        .ready = slot.data_ready,
+    });
+  }
+}
+
+void Engine::compute_round(WarpState& w) {
+  Cycle cycles = 0;
+  std::vector<ThreadId> participants;
+  for (std::int64_t i = 0; i < w.count; ++i) {
+    ThreadState& ts = thread(w.first + i);
+    if (ts.done || ts.ctx.pending_.kind != Op::Kind::kCompute) continue;
+    cycles = std::max(cycles, ts.ctx.pending_.cycles);  // SIMD: pay the max
+    participants.push_back(w.first + i);
+  }
+  HMM_ASSERT(cycles >= 1, "compute round without work");
+
+  const Cycle begin =
+      exec_[static_cast<std::size_t>(w.dmm)].acquire(w.clock, cycles);
+  w.clock = begin + cycles;
+  for (ThreadId t : participants) thread(t).need_resume = true;
+  requeue(w);
+
+  if (machine_.config_.record_trace) {
+    report_.trace.push_back(TraceEvent{
+        .kind = TraceEvent::Kind::kCompute,
+        .warp = w.id,
+        .dmm = w.dmm,
+        .begin = begin,
+        .end = w.clock - 1,
+        .ready = w.clock,
+    });
+  }
+}
+
+void Engine::barrier_round(WarpState& w, BarrierScope scope) {
+  BarrierDomain& domain = scope == BarrierScope::kDmm
+                              ? dmm_domains_[static_cast<std::size_t>(w.dmm)]
+                              : machine_domain_;
+  w.waiting = true;  // parked: not requeued until released
+  domain.arrived.push_back(w.id);
+  domain.max_arrival = std::max(domain.max_arrival, w.clock);
+  release_if_complete(domain);
+}
+
+void Engine::finish_warp(WarpState& w) {
+  HMM_ASSERT(!w.finished, "warp finished twice");
+  w.finished = true;
+  report_.makespan = std::max(report_.makespan, w.clock);
+
+  BarrierDomain& dd = dmm_domains_[static_cast<std::size_t>(w.dmm)];
+  --dd.active;
+  release_if_complete(dd);
+  --machine_domain_.active;
+  release_if_complete(machine_domain_);
+}
+
+void Engine::release_if_complete(BarrierDomain& domain) {
+  if (!domain.arrived.empty() &&
+      static_cast<std::int64_t>(domain.arrived.size()) == domain.active) {
+    release(domain);
+  }
+}
+
+void Engine::release(BarrierDomain& domain) {
+  const Cycle t = domain.max_arrival;
+  ++report_.barrier_releases;
+  for (WarpId wid : domain.arrived) {
+    WarpState& w = warps_[static_cast<std::size_t>(wid)];
+    HMM_ASSERT(w.waiting, "released a warp that was not parked");
+    w.waiting = false;
+    w.clock = t;
+    for (std::int64_t i = 0; i < w.count; ++i) {
+      ThreadState& ts = thread(w.first + i);
+      if (!ts.done && ts.ctx.pending_.kind == Op::Kind::kBarrier) {
+        ts.need_resume = true;
+      }
+    }
+    requeue(w);
+    if (machine_.config_.record_trace) {
+      report_.trace.push_back(TraceEvent{
+          .kind = TraceEvent::Kind::kBarrier,
+          .warp = w.id,
+          .dmm = w.dmm,
+          .begin = t,
+          .end = t,
+          .ready = t,
+      });
+    }
+  }
+  domain.arrived.clear();
+  domain.max_arrival = 0;
+}
+
+RunReport Machine::run(const KernelFn& kernel) {
+  HMM_REQUIRE(static_cast<bool>(kernel), "run: kernel must be callable");
+  Engine engine(*this, kernel);
+  return engine.run();
+}
+
+}  // namespace hmm

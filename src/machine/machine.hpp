@@ -1,0 +1,118 @@
+// Machine — the cycle-accurate simulator for the DMM, the UMM and the HMM.
+//
+// One class covers all three models (§II, §III): a machine is d DMMs, each
+// optionally owning a *shared memory* (banked, DMM conflict pricing),
+// plus optionally one *global memory* (UMM coalescing pricing) whose
+// single pipeline is shared by the warps of every DMM.  The named
+// factories configure the three paper models:
+//
+//   Machine::dmm(w, l, p, size)            — one DMM, shared memory only
+//   Machine::umm(w, l, p, size)            — one "DMM" of threads, global
+//                                            memory only
+//   Machine::hmm(w, l, d, p_per_dmm, shared_size, global_size)
+//                                          — the HMM: shared latency 1,
+//                                            global latency l
+//
+// Timing semantics are normative in DESIGN.md §4 and enforced by the
+// engine in machine.cpp:
+//   * warps execute warp-synchronously; per DMM one warp instruction
+//     issues per time unit (this is what makes compute throughput d*w
+//     operations per time unit, the paper's speed-up limitation);
+//   * a warp's memory batch occupies k pipeline stages (bank conflicts on
+//     shared, distinct address groups on global) and its issuer resumes
+//     l time units after its last stage injected (Fig. 4);
+//   * warps contend for pipelines in deterministic round-robin order.
+//
+// A kernel is any callable invoked once per thread to produce that
+// thread's coroutine.  Machine::run is synchronous; the callable must
+// stay alive for the duration of the call (binding a temporary lambda is
+// fine).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "machine/report.hpp"
+#include "machine/task.hpp"
+#include "machine/thread_ctx.hpp"
+#include "machine/topology.hpp"
+#include "mm/bank_memory.hpp"
+#include "mm/pipeline.hpp"
+
+namespace hmm {
+
+/// Size/latency of one memory.
+struct MemorySpec {
+  std::int64_t size = 0;
+  Cycle latency = 1;
+};
+
+struct MachineConfig {
+  std::int64_t width = 32;
+  std::vector<std::int64_t> threads_per_dmm = {32};
+  std::optional<MemorySpec> shared;  ///< per-DMM shared memory, DMM pricing
+  std::optional<MemorySpec> global;  ///< one global memory, UMM pricing
+  bool record_trace = false;
+};
+
+class Machine {
+ public:
+  using KernelFn = std::function<SimTask(ThreadCtx&)>;
+
+  explicit Machine(MachineConfig config);
+
+  // ---- factories for the three paper models ---------------------------
+  static Machine dmm(std::int64_t width, Cycle latency,
+                     std::int64_t num_threads, std::int64_t memory_size,
+                     bool record_trace = false);
+  static Machine umm(std::int64_t width, Cycle latency,
+                     std::int64_t num_threads, std::int64_t memory_size,
+                     bool record_trace = false);
+  static Machine hmm(std::int64_t width, Cycle global_latency,
+                     std::int64_t num_dmms, std::int64_t threads_per_dmm,
+                     std::int64_t shared_size, std::int64_t global_size,
+                     bool record_trace = false,
+                     Cycle shared_latency = 1);
+
+  // ---- shape -----------------------------------------------------------
+  const Topology& topology() const { return topology_; }
+  std::int64_t width() const { return topology_.width(); }
+  std::int64_t num_dmms() const { return topology_.num_dmms(); }
+  std::int64_t num_threads() const { return topology_.total_threads(); }
+  bool has_shared() const { return !shared_.empty(); }
+  bool has_global() const { return global_.has_value(); }
+  Cycle shared_latency() const;
+  Cycle global_latency() const;
+
+  // ---- memories (zero-cost host access for I/O) ------------------------
+  BankMemory& shared_memory(DmmId dmm);
+  const BankMemory& shared_memory(DmmId dmm) const;
+  BankMemory& global_memory();
+  const BankMemory& global_memory() const;
+
+  /// Run one kernel to completion on all threads; returns the timing
+  /// report.  Memory contents persist across runs; pipeline/exec counters
+  /// are reset at the start of each run.
+  RunReport run(const KernelFn& kernel);
+
+ private:
+  friend class Engine;
+
+  struct Port {
+    MemoryPipeline pipeline;
+    BankMemory memory;
+    bool dmm_pricing;  ///< true: bank-conflict cost; false: group cost
+
+    Port(MemoryGeometry geom, const MemorySpec& spec, bool dmm)
+        : pipeline(spec.latency), memory(geom, spec.size), dmm_pricing(dmm) {}
+  };
+
+  MachineConfig config_;
+  Topology topology_;
+  std::vector<Port> shared_;      // one per DMM when configured
+  std::optional<Port> global_;
+};
+
+}  // namespace hmm

@@ -1,0 +1,97 @@
+#include "machine/pram.hpp"
+
+#include <algorithm>
+
+namespace hmm {
+
+Word PramAccess::read(Address a) { return pram_.round_read(a); }
+void PramAccess::write(Address a, Word v) { pram_.round_write(a, v); }
+
+Pram::Pram(std::int64_t processors, std::int64_t memory_size, Mode mode)
+    : processors_(processors),
+      mode_(mode),
+      cells_(checked_size(memory_size, "PRAM memory"), Word{0}) {
+  HMM_REQUIRE(processors >= 1, "PRAM needs >= 1 processor");
+}
+
+Word& Pram::at(Address a) {
+  HMM_REQUIRE(a >= 0 && a < size(), "address out of range");
+  return cells_[static_cast<std::size_t>(a)];
+}
+
+Word Pram::round_read(Address a) {
+  HMM_ASSERT(in_round_, "PramAccess used outside a parallel step");
+  round_touched_.emplace_back(a, current_item_);
+  return at(a);  // reads see the state at the start of the round
+}
+
+void Pram::round_write(Address a, Word v) {
+  HMM_ASSERT(in_round_, "PramAccess used outside a parallel step");
+  at(a);  // bounds check now, apply later
+  round_touched_.emplace_back(a, current_item_);
+  round_writes_.emplace_back(a, v);
+}
+
+void Pram::parallel_step(
+    std::int64_t items,
+    const std::function<void(std::int64_t, PramAccess&)>& fn) {
+  HMM_REQUIRE(items >= 0, "parallel_step: items must be >= 0");
+  HMM_REQUIRE(static_cast<bool>(fn), "parallel_step: fn must be callable");
+  time_ += std::max<Cycle>(1, ceil_div(items, processors_));
+  if (items == 0) return;
+
+  PramAccess access(*this);
+  // p processors sweep the items in rounds; writes of a round apply at its
+  // end, so items of one round all observe pre-round memory (synchronous
+  // PRAM semantics even when items > p).
+  for (std::int64_t base = 0; base < items; base += processors_) {
+    const std::int64_t round_end = std::min(items, base + processors_);
+    in_round_ = true;
+    round_touched_.clear();
+    round_writes_.clear();
+    for (std::int64_t i = base; i < round_end; ++i) {
+      current_item_ = i;
+      fn(i, access);
+    }
+    in_round_ = false;
+    current_item_ = -1;
+
+    if (mode_ == Mode::kErew) {
+      // No cell may be touched by two DIFFERENT work items of one round
+      // (one item re-touching its own cell, e.g. a[i] += x, is fine).
+      std::sort(round_touched_.begin(), round_touched_.end());
+      bool clash = false;
+      for (std::size_t i = 1; i < round_touched_.size(); ++i) {
+        if (round_touched_[i].first == round_touched_[i - 1].first &&
+            round_touched_[i].second != round_touched_[i - 1].second) {
+          clash = true;
+          break;
+        }
+      }
+      HMM_REQUIRE(!clash,
+                  "EREW violation: two processors touched one cell in the "
+                  "same PRAM step");
+    }
+    // Arbitrary-CRCW: make "arbitrary" deterministic — last item wins.
+    for (const auto& [a, v] : round_writes_) at(a) = v;
+  }
+}
+
+Word Pram::peek(Address a) const { return const_cast<Pram*>(this)->at(a); }
+
+void Pram::poke(Address a, Word v) { at(a) = v; }
+
+void Pram::load(Address base, std::span<const Word> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    at(base + static_cast<Address>(i)) = words[i];
+  }
+}
+
+std::vector<Word> Pram::dump(Address base, std::int64_t count) const {
+  std::vector<Word> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) out.push_back(peek(base + i));
+  return out;
+}
+
+}  // namespace hmm

@@ -1,0 +1,95 @@
+// PRAM baseline (§V): p synchronous unit-cost processors over an
+// unstructured shared memory — no banks, no groups, no latency.  This is
+// the model against which the paper positions the memory machines in
+// Tables I and II.
+//
+// Algorithms are written as sequences of synchronous parallel steps:
+//
+//   pram.parallel_step(items, [&](std::int64_t i, PramAccess& a) { ... });
+//
+// One step over `items` work items costs ceil(items/p) time units (the
+// standard Brent-style charging: p processors sweep the items in rounds).
+// Within a step every work item sees memory as of the start of the step's
+// round; the class also verifies the EREW discipline on demand (no two
+// work items of one round may touch the same cell), which the paper's
+// PRAM algorithms obey.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+#include "core/types.hpp"
+
+namespace hmm {
+
+class Pram;
+
+/// Memory accessor handed to each work item of a parallel step.
+class PramAccess {
+ public:
+  Word read(Address a);
+  void write(Address a, Word v);
+
+ private:
+  friend class Pram;
+  explicit PramAccess(Pram& pram) : pram_(pram) {}
+  Pram& pram_;
+};
+
+class Pram {
+ public:
+  /// Concurrent-access discipline enforced per round.
+  enum class Mode {
+    kErew,  ///< exclusive read, exclusive write (checked, throws on breach)
+    kCrcw,  ///< concurrent access allowed (arbitrary write wins)
+  };
+
+  Pram(std::int64_t processors, std::int64_t memory_size,
+       Mode mode = Mode::kErew);
+
+  std::int64_t processors() const { return processors_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(cells_.size()); }
+  Cycle time() const { return time_; }
+  void reset_time() { time_ = 0; }
+
+  /// Execute one synchronous parallel step over `items` work items.
+  /// Costs max(1, ceil(items/p)) time units.  Writes performed by the
+  /// items of one round become visible at the end of that round.
+  void parallel_step(std::int64_t items,
+                     const std::function<void(std::int64_t, PramAccess&)>& fn);
+
+  /// Charge extra local work (e.g. a final scalar fix-up).
+  void tick(Cycle n = 1) {
+    HMM_REQUIRE(n >= 0, "tick: n must be >= 0");
+    time_ += n;
+  }
+
+  /// Untimed host access.
+  Word peek(Address a) const;
+  void poke(Address a, Word v);
+  void load(Address base, std::span<const Word> words);
+  std::vector<Word> dump(Address base, std::int64_t count) const;
+
+ private:
+  friend class PramAccess;
+
+  Word& at(Address a);
+  Word round_read(Address a);
+  void round_write(Address a, Word v);
+
+  std::int64_t processors_;
+  Mode mode_;
+  std::vector<Word> cells_;
+  Cycle time_ = 0;
+
+  // per-round bookkeeping
+  bool in_round_ = false;
+  std::int64_t current_item_ = -1;
+  std::vector<std::pair<Address, std::int64_t>> round_touched_;  // (cell, item)
+  std::vector<std::pair<Address, Word>> round_writes_;
+};
+
+}  // namespace hmm

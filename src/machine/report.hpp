@@ -1,0 +1,48 @@
+// What a simulation run reports back: the makespan in the paper's time
+// units plus utilisation counters and (optionally) a full event trace.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "machine/op.hpp"
+#include "mm/pipeline.hpp"
+
+namespace hmm {
+
+/// One scheduled event, recorded only when tracing is enabled.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kMemory, kCompute, kBarrier };
+
+  Kind kind = Kind::kMemory;
+  WarpId warp = 0;
+  DmmId dmm = 0;
+  MemorySpace space = MemorySpace::kShared;  // memory events only
+  std::int64_t requests = 0;                 // memory events only
+  std::int64_t stages = 0;                   // memory events only
+  Cycle begin = 0;  ///< first injection / compute / release cycle
+  Cycle end = 0;    ///< last injection or compute cycle
+  Cycle ready = 0;  ///< cycle the warp proceeds
+};
+
+/// Per-DMM execution-engine counters (one warp instruction per cycle).
+struct ExecStats {
+  std::int64_t issue_slots = 0;  ///< warp instructions issued
+  Cycle busy_until = 0;          ///< next free issue cycle at run end
+};
+
+struct RunReport {
+  Cycle makespan = 0;  ///< completion time of the slowest warp (time units)
+
+  PipelineStats global_pipeline;               ///< zeroed if no global memory
+  std::vector<PipelineStats> shared_pipelines; ///< one per DMM (maybe empty)
+  std::vector<ExecStats> exec;                 ///< one per DMM
+
+  std::int64_t barrier_releases = 0;
+  std::int64_t threads = 0;
+  std::int64_t warps = 0;
+
+  std::vector<TraceEvent> trace;  ///< populated only when tracing
+};
+
+}  // namespace hmm

@@ -1,0 +1,63 @@
+// Sequential RAM baseline (§V): one processor, unit cost per fundamental
+// operation.  Used for the "Sequential" column of Table I and as the
+// correctness oracle for every parallel algorithm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+#include "core/types.hpp"
+
+namespace hmm {
+
+class SequentialRam {
+ public:
+  explicit SequentialRam(std::int64_t memory_size)
+      : cells_(checked_size(memory_size, "RAM memory"), Word{0}) {}
+
+  std::int64_t size() const { return static_cast<std::int64_t>(cells_.size()); }
+  Cycle time() const { return time_; }
+  void reset_time() { time_ = 0; }
+
+  /// Timed operations (each costs one time unit).
+  Word read(Address a) {
+    ++time_;
+    return at(a);
+  }
+  void write(Address a, Word v) {
+    ++time_;
+    at(a) = v;
+  }
+  void tick(Cycle n = 1) {
+    HMM_REQUIRE(n >= 0, "tick: n must be >= 0");
+    time_ += n;
+  }
+
+  /// Untimed host access for loading inputs / reading outputs.
+  Word peek(Address a) const { return const_cast<SequentialRam*>(this)->at(a); }
+  void poke(Address a, Word v) { at(a) = v; }
+  void load(Address base, std::span<const Word> words) {
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      at(base + static_cast<Address>(i)) = words[i];
+    }
+  }
+  std::vector<Word> dump(Address base, std::int64_t count) const {
+    std::vector<Word> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) out.push_back(peek(base + i));
+    return out;
+  }
+
+ private:
+  Word& at(Address a) {
+    HMM_REQUIRE(a >= 0 && a < size(), "address out of range");
+    return cells_[static_cast<std::size_t>(a)];
+  }
+
+  std::vector<Word> cells_;
+  Cycle time_ = 0;
+};
+
+}  // namespace hmm

@@ -1,0 +1,145 @@
+// SimTask — the coroutine type of a simulated thread program.
+//
+// Every thread of a machine is one coroutine returning SimTask.  The
+// coroutine starts suspended; the engine resumes it, the thread runs until
+// its next `co_await ctx.<op>(...)`, and the engine reads the recorded Op
+// from the thread's context.  Exceptions thrown inside a thread program
+// are captured and rethrown out of Machine::run with the next resume.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace hmm {
+
+class [[nodiscard]] SimTask {
+ public:
+  struct promise_type {
+    SimTask get_return_object() {
+      return SimTask(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+
+    std::exception_ptr exception;
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  SimTask() = default;
+  explicit SimTask(Handle h) : handle_(h) {}
+  SimTask(SimTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// Resume until the next suspension point; rethrows any exception the
+  /// thread program raised.
+  void resume() {
+    HMM_ASSERT(valid() && !handle_.done(), "resume of finished task");
+    handle_.resume();
+    rethrow_if_failed();
+  }
+
+  /// Type-erased handle (the engine's initial "leaf" to resume).
+  std::coroutine_handle<> handle() const { return handle_; }
+
+  /// Rethrow the exception captured from the thread program, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+/// SubTask — an awaitable device-side subroutine.
+///
+/// Thread programs compose: a SimTask kernel (or another SubTask) runs a
+/// subroutine with `co_await device_tree_sum(t, ...)`.  Suspensions inside
+/// the subroutine bubble up to the engine (the engine always resumes the
+/// innermost active coroutine via ThreadCtx's leaf pointer), and when the
+/// subroutine finishes, control transfers symmetrically back to its
+/// caller within the same engine resume.  This is what lets the HMM
+/// algorithms of §VII/§IX literally invoke the DMM/UMM algorithms of
+/// §VI/§VIII on a DMM's shared memory, exactly as the paper composes
+/// them.
+class [[nodiscard]] SubTask {
+ public:
+  struct promise_type {
+    SubTask get_return_object() {
+      return SubTask(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        return h.promise().continuation;  // symmetric transfer to caller
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit SubTask(Handle h) : handle_(h) {}
+  SubTask(SubTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&&) = delete;
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  // Awaiter interface: `co_await subroutine(...)`.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> caller) noexcept {
+    handle_.promise().continuation = caller;
+    return handle_;  // symmetric transfer into the subroutine
+  }
+  void await_resume() const {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  Handle handle_;
+};
+
+}  // namespace hmm

@@ -1,0 +1,127 @@
+// ThreadCtx — a simulated thread's view of the machine.
+//
+// One ThreadCtx exists per thread for the duration of a run; the kernel
+// coroutine receives a reference to it and performs every model operation
+// through it:
+//
+//   SimTask kernel(ThreadCtx& t) {
+//     Word x = co_await t.read(MemorySpace::kGlobal, t.thread_id());
+//     co_await t.compute();                      // one RAM time unit
+//     co_await t.write(MemorySpace::kShared, 0, x);
+//     co_await t.barrier();                      // DMM-wide sync
+//   }
+//
+// IMPORTANT: every operation MUST be co_awaited before the next one is
+// issued; issuing two ops without suspension is a programming error and
+// raises PreconditionError (threads are RAMs with one outstanding memory
+// request, §II).
+#pragma once
+
+#include <coroutine>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+#include "machine/op.hpp"
+
+namespace hmm {
+
+class Engine;
+
+class ThreadCtx {
+ public:
+  // ---- identity --------------------------------------------------------
+  ThreadId thread_id() const { return thread_id_; }     ///< machine-wide id
+  ThreadId local_thread_id() const { return local_id_; }///< id within DMM
+  DmmId dmm_id() const { return dmm_; }
+  WarpId warp_id() const { return warp_; }              ///< machine-wide
+  std::int64_t lane() const { return lane_; }           ///< id within warp
+
+  // ---- machine shape ---------------------------------------------------
+  std::int64_t width() const { return width_; }
+  std::int64_t num_dmms() const { return num_dmms_; }
+  std::int64_t num_threads() const { return num_threads_; }      ///< total p
+  std::int64_t dmm_thread_count() const { return dmm_threads_; } ///< this DMM
+
+  // ---- operations (all must be co_awaited) -----------------------------
+  struct WordAwaiter {
+    ThreadCtx* ctx;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const noexcept {
+      ctx->leaf_ = h;  // the engine resumes the innermost coroutine
+    }
+    Word await_resume() const noexcept { return ctx->delivered_; }
+  };
+  struct VoidAwaiter {
+    ThreadCtx* ctx;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const noexcept {
+      ctx->leaf_ = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Read one word; resumes with the value once the access completes.
+  WordAwaiter read(MemorySpace space, Address address) {
+    post(Op{.kind = Op::Kind::kRead, .space = space, .address = address});
+    return WordAwaiter{this};
+  }
+
+  /// Write one word; resumes once the access completes.
+  VoidAwaiter write(MemorySpace space, Address address, Word value) {
+    post(Op{.kind = Op::Kind::kWrite,
+            .space = space,
+            .address = address,
+            .value = value});
+    return VoidAwaiter{this};
+  }
+
+  /// Perform `cycles` time units of local RAM work.
+  VoidAwaiter compute(Cycle cycles = 1) {
+    HMM_REQUIRE(cycles >= 1, "compute: cycles must be >= 1");
+    post(Op{.kind = Op::Kind::kCompute, .cycles = cycles});
+    return VoidAwaiter{this};
+  }
+
+  /// Synchronise with every live warp of the scope.
+  VoidAwaiter barrier(BarrierScope scope = BarrierScope::kDmm) {
+    post(Op{.kind = Op::Kind::kBarrier, .scope = scope});
+    return VoidAwaiter{this};
+  }
+
+  /// Reconverge this warp's lanes (costs no time).  Lanes of one warp
+  /// drift apart when data-dependent loop trip counts differ; any
+  /// intra-warp communication through memory (without a full barrier)
+  /// must warp_sync first — the model analogue of CUDA's __syncwarp().
+  VoidAwaiter warp_sync() {
+    post(Op{.kind = Op::Kind::kWarpSync});
+    return VoidAwaiter{this};
+  }
+
+ private:
+  friend class Engine;
+
+  void post(const Op& op) {
+    HMM_REQUIRE(pending_.kind == Op::Kind::kNone,
+                "thread issued a new operation before co_awaiting the "
+                "previous one");
+    pending_ = op;
+  }
+
+  // identity (set by the engine at launch)
+  ThreadId thread_id_ = 0;
+  ThreadId local_id_ = 0;
+  DmmId dmm_ = 0;
+  WarpId warp_ = 0;
+  std::int64_t lane_ = 0;
+  std::int64_t width_ = 0;
+  std::int64_t num_dmms_ = 0;
+  std::int64_t num_threads_ = 0;
+  std::int64_t dmm_threads_ = 0;
+
+  // engine <-> thread mailbox
+  Op pending_;
+  Word delivered_ = 0;
+  std::coroutine_handle<> leaf_;  ///< innermost suspended coroutine
+};
+
+}  // namespace hmm

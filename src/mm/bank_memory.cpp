@@ -1,0 +1,91 @@
+#include "mm/bank_memory.hpp"
+
+#include <algorithm>
+
+#include "core/mathutil.hpp"
+
+namespace hmm {
+
+BankMemory::BankMemory(MemoryGeometry geometry, std::int64_t size)
+    : geometry_(geometry),
+      cells_(checked_size(size, "bank memory"), Word{0}),
+      bank_traffic_(static_cast<std::size_t>(geometry.width()), 0) {}
+
+Word BankMemory::peek(Address a) const {
+  HMM_REQUIRE(a >= 0 && a < size(), "peek: address out of range");
+  return cells_[static_cast<std::size_t>(a)];
+}
+
+void BankMemory::poke(Address a, Word v) {
+  HMM_REQUIRE(a >= 0 && a < size(), "poke: address out of range");
+  cells_[static_cast<std::size_t>(a)] = v;
+}
+
+void BankMemory::load(Address base, std::span<const Word> words) {
+  HMM_REQUIRE(base >= 0 &&
+                  base + static_cast<std::int64_t>(words.size()) <= size(),
+              "load: range out of bounds");
+  std::copy(words.begin(), words.end(),
+            cells_.begin() + static_cast<std::ptrdiff_t>(base));
+}
+
+std::vector<Word> BankMemory::dump(Address base, std::int64_t count) const {
+  HMM_REQUIRE(base >= 0 && count >= 0 && base + count <= size(),
+              "dump: range out of bounds");
+  return {cells_.begin() + static_cast<std::ptrdiff_t>(base),
+          cells_.begin() + static_cast<std::ptrdiff_t>(base + count)};
+}
+
+ServicedBatch BankMemory::service(std::span<const Request> batch) {
+  ServicedBatch out;
+  out.values.resize(batch.size());
+
+  // All reads observe pre-batch memory (a warp access is one parallel
+  // step); resolve them first.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& r = batch[i];
+    HMM_REQUIRE(r.address >= 0 && r.address < size(),
+                "service: address out of range");
+    if (r.kind == AccessKind::kRead) {
+      out.values[i] = cells_[static_cast<std::size_t>(r.address)];
+    }
+  }
+
+  // Writes: highest lane wins per address (deterministic stand-in for the
+  // paper's "one of them is arbitrarily selected").
+  for (const Request& r : batch) {
+    if (r.kind != AccessKind::kWrite) continue;
+    bool superseded = false;
+    for (const Request& other : batch) {
+      if (other.kind == AccessKind::kWrite && other.address == r.address &&
+          other.lane > r.lane) {
+        superseded = true;
+        break;
+      }
+    }
+    if (!superseded) cells_[static_cast<std::size_t>(r.address)] = r.value;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& r = batch[i];
+    if (r.kind == AccessKind::kWrite) {
+      out.values[i] = cells_[static_cast<std::size_t>(r.address)];
+    }
+  }
+
+  // Traffic: one count per distinct address, charged to its bank.
+  std::vector<Address> addrs;
+  addrs.reserve(batch.size());
+  for (const Request& r : batch) addrs.push_back(r.address);
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+  for (Address a : addrs) {
+    ++bank_traffic_[static_cast<std::size_t>(geometry_.bank_of(a))];
+  }
+  return out;
+}
+
+void BankMemory::reset_traffic() {
+  std::fill(bank_traffic_.begin(), bank_traffic_.end(), 0);
+}
+
+}  // namespace hmm

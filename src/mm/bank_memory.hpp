@@ -1,0 +1,68 @@
+// Word-addressed banked storage behind a DMM or UMM pipeline.
+//
+// Functionally the memory is a flat array of words; the banked structure
+// only matters for timing (batch_cost) and for the per-bank traffic
+// statistics this class keeps, which the bank-conflict explorer example
+// and the ablation benches report.
+//
+// Same-address semantics within one serviced batch (§II):
+//  * reads of one address by several threads are a broadcast — all get
+//    the same value at no extra cost;
+//  * writes to one address by several threads: one arbitrary thread wins.
+//    We deterministically pick the highest lane so simulations replay
+//    identically.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+#include "mm/geometry.hpp"
+#include "mm/request.hpp"
+
+namespace hmm {
+
+/// Result of servicing a batch: for every request, the value read (for
+/// reads) or the value that ended up stored (for writes).
+struct ServicedBatch {
+  std::vector<Word> values;  ///< parallel to the input batch
+};
+
+class BankMemory {
+ public:
+  BankMemory(MemoryGeometry geometry, std::int64_t size);
+
+  const MemoryGeometry& geometry() const { return geometry_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(cells_.size()); }
+
+  /// Direct (zero-cost) access for loading inputs and reading outputs of
+  /// a simulation; never use inside a timed kernel.
+  Word peek(Address a) const;
+  void poke(Address a, Word v);
+
+  /// Bulk load starting at address `base`.
+  void load(Address base, std::span<const Word> words);
+
+  /// Bulk read of `count` words starting at `base`.
+  std::vector<Word> dump(Address base, std::int64_t count) const;
+
+  /// Apply one warp batch: writes land (last-lane-wins per address, applied
+  /// after all reads of the batch observe the pre-batch state), reads
+  /// return values.  Also accumulates per-bank traffic counters.
+  ServicedBatch service(std::span<const Request> batch);
+
+  /// Distinct-address accesses observed so far, per bank.
+  const std::vector<std::int64_t>& bank_traffic() const {
+    return bank_traffic_;
+  }
+
+  void reset_traffic();
+
+ private:
+  MemoryGeometry geometry_;
+  std::vector<Word> cells_;
+  std::vector<std::int64_t> bank_traffic_;
+};
+
+}  // namespace hmm

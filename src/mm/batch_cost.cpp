@@ -1,0 +1,83 @@
+#include "mm/batch_cost.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hmm {
+
+namespace {
+
+/// Distinct addresses of a batch, sorted.  Warp batches are tiny (<= w
+/// requests), so sort+unique on a stack-friendly vector beats hashing.
+std::vector<Address> distinct_addresses(std::span<const Request> batch) {
+  std::vector<Address> addrs;
+  addrs.reserve(batch.size());
+  for (const Request& r : batch) addrs.push_back(r.address);
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+  return addrs;
+}
+
+}  // namespace
+
+std::int64_t dmm_batch_stages(const MemoryGeometry& geom,
+                              std::span<const Request> batch) {
+  return profile_batch(geom, batch).dmm_stages;
+}
+
+std::int64_t umm_batch_stages(const MemoryGeometry& geom,
+                              std::span<const Request> batch) {
+  return profile_batch(geom, batch).umm_stages;
+}
+
+BatchProfile profile_batch(const MemoryGeometry& geom,
+                           std::span<const Request> batch) {
+  BatchProfile p;
+  if (batch.empty()) return p;
+
+  const std::vector<Address> addrs = distinct_addresses(batch);
+  p.distinct_addresses = static_cast<std::int64_t>(addrs.size());
+
+  // Per-bank distinct-address counts.  width can be large relative to the
+  // batch, so count only touched banks via a sorted key pass.
+  std::vector<BankId> banks;
+  std::vector<GroupId> groups;
+  banks.reserve(addrs.size());
+  groups.reserve(addrs.size());
+  for (Address a : addrs) {
+    banks.push_back(geom.bank_of(a));
+    groups.push_back(geom.group_of(a));
+  }
+  std::sort(banks.begin(), banks.end());
+  std::sort(groups.begin(), groups.end());
+
+  std::int64_t best_run = 0;
+  BankId best_bank = -1;
+  for (std::size_t i = 0; i < banks.size();) {
+    std::size_t j = i;
+    while (j < banks.size() && banks[j] == banks[i]) ++j;
+    const auto run = static_cast<std::int64_t>(j - i);
+    if (run > best_run) {
+      best_run = run;
+      best_bank = banks[i];
+    }
+    ++p.touched_banks;
+    i = j;
+  }
+  p.dmm_stages = best_run;
+  p.hottest_bank = best_bank;
+
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  p.umm_stages = static_cast<std::int64_t>(groups.size());
+  p.touched_groups = p.umm_stages;
+
+  HMM_ASSERT(p.dmm_stages <= p.umm_stages,
+             "a batch can never conflict worse on the DMM than it "
+             "de-coalesces on the UMM (each group holds <=1 address per "
+             "bank)");
+  return p;
+}
+
+}  // namespace hmm

@@ -1,0 +1,48 @@
+// Pipeline-stage pricing of a warp's request batch — the heart of the
+// difference between the DMM and the UMM (§II).
+//
+//  * DMM:  requests going to the same bank serialise; a batch costs
+//          max_b |{distinct addresses in bank b}| stages.  Requests to the
+//          *same address* merge for free (broadcast read / arbitrary
+//          write), per the paper's same-address rule.
+//  * UMM:  the single address line broadcasts one address-group id per
+//          stage; a batch costs |{distinct address groups}| stages.
+//
+// Both costs are computed after merging duplicate addresses.  An empty
+// batch costs 0 stages (the warp is not dispatched).
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+#include "mm/geometry.hpp"
+#include "mm/request.hpp"
+
+namespace hmm {
+
+/// Stages a batch occupies in a DMM (shared-memory) pipeline:
+/// the maximum number of distinct addresses that map to one bank.
+std::int64_t dmm_batch_stages(const MemoryGeometry& geom,
+                              std::span<const Request> batch);
+
+/// Stages a batch occupies in a UMM (global-memory) pipeline:
+/// the number of distinct address groups touched.
+std::int64_t umm_batch_stages(const MemoryGeometry& geom,
+                              std::span<const Request> batch);
+
+/// Diagnostic breakdown of a batch used by tests, the Fig. 3/Fig. 4
+/// benches and the bank-conflict explorer example.
+struct BatchProfile {
+  std::int64_t distinct_addresses = 0;
+  std::int64_t dmm_stages = 0;       ///< max per-bank distinct addresses
+  std::int64_t umm_stages = 0;       ///< distinct address groups
+  std::int64_t hottest_bank = -1;    ///< a bank achieving dmm_stages, or -1
+  std::int64_t touched_banks = 0;    ///< banks with >= 1 distinct address
+  std::int64_t touched_groups = 0;   ///< == umm_stages (redundant, explicit)
+};
+
+/// Full profile of one batch under a given geometry.
+BatchProfile profile_batch(const MemoryGeometry& geom,
+                           std::span<const Request> batch);
+
+}  // namespace hmm

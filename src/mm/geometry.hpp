@@ -1,0 +1,51 @@
+// Address geometry of the memory machine models (paper §II, Fig. 3).
+//
+// A single address space is interleaved over w memory banks:
+//   bank  B[j] = { m[j], m[j+w], m[j+2w], ... }   (DMM view, j = a mod w)
+// and partitioned into address groups of w consecutive cells:
+//   group A[j] = { m[jw], m[jw+1], ..., m[jw+w-1] } (UMM view, j = a div w)
+//
+// The same physical array of cells is seen through both lenses; which one
+// determines the access cost is what distinguishes the DMM from the UMM.
+#pragma once
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace hmm {
+
+/// Width (number of banks == address-group size == warp size) of a memory.
+/// The paper uses a single parameter w for all three roles, as do GPUs
+/// (w = 32 on the GTX580 instantiation of §III).
+class MemoryGeometry {
+ public:
+  explicit MemoryGeometry(std::int64_t width) : width_(width) {
+    HMM_REQUIRE(width >= 1, "memory width must be >= 1");
+  }
+
+  std::int64_t width() const { return width_; }
+
+  /// Bank that holds address a (DMM conflict domain).
+  BankId bank_of(Address a) const {
+    HMM_REQUIRE(a >= 0, "addresses are non-negative");
+    return a % width_;
+  }
+
+  /// Address group that holds address a (UMM coalescing domain).
+  GroupId group_of(Address a) const {
+    HMM_REQUIRE(a >= 0, "addresses are non-negative");
+    return a / width_;
+  }
+
+  /// Position of address a within its address group (the "column" of
+  /// Fig. 3); equals bank_of(a) because groups are w consecutive cells.
+  std::int64_t lane_of(Address a) const { return bank_of(a); }
+
+  friend bool operator==(const MemoryGeometry&,
+                         const MemoryGeometry&) = default;
+
+ private:
+  std::int64_t width_;
+};
+
+}  // namespace hmm

@@ -1,0 +1,26 @@
+#include "mm/pipeline.hpp"
+
+#include <algorithm>
+
+namespace hmm {
+
+PipelineSlot MemoryPipeline::inject(Cycle ready, std::int64_t stages,
+                                    std::int64_t requests) {
+  HMM_REQUIRE(ready >= 0, "inject: ready cycle must be >= 0");
+  HMM_REQUIRE(stages >= 1, "inject: a batch occupies at least one stage");
+  HMM_REQUIRE(requests >= 1, "inject: a batch carries at least one request");
+
+  PipelineSlot slot;
+  slot.inject_begin = std::max(ready, stats_.busy_until);
+  slot.inject_end = slot.inject_begin + stages - 1;
+  slot.data_ready = slot.inject_end + latency_;
+
+  stats_.idle_cycles += slot.inject_begin - stats_.busy_until;
+  stats_.busy_until = slot.inject_end + 1;
+  ++stats_.batches;
+  stats_.stages += stages;
+  stats_.requests += requests;
+  return slot;
+}
+
+}  // namespace hmm

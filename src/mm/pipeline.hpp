@@ -1,0 +1,65 @@
+// The l-stage memory pipeline of §II/§III (Fig. 4).
+//
+// Timing rule (normative, see DESIGN.md §4): the MMU injects one pipeline
+// stage per cycle.  A batch occupying k stages that starts injecting at
+// cycle t uses injection cycles t .. t+k-1 and its data is available at
+// the END of cycle t+k+l-2, i.e. the issuing threads may act on it (and
+// issue their next request) from cycle t+k+l-1 onward.  Batches from
+// different warps inject back-to-back, which is exactly the pipelining of
+// Fig. 4: two batches of 3 and 1 stages under l = 5 complete after
+// 3 + 1 + 5 - 1 = 8 cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace hmm {
+
+/// Outcome of injecting one batch.
+struct PipelineSlot {
+  Cycle inject_begin = 0;  ///< first injection cycle
+  Cycle inject_end = 0;    ///< last injection cycle (begin + stages - 1)
+  Cycle data_ready = 0;    ///< first cycle the issuer may proceed
+};
+
+/// Accumulated utilisation counters for one pipeline.
+struct PipelineStats {
+  std::int64_t batches = 0;        ///< batches injected
+  std::int64_t stages = 0;         ///< total stages injected
+  std::int64_t requests = 0;       ///< total thread requests carried
+  Cycle busy_until = 0;            ///< next free injection cycle
+  Cycle idle_cycles = 0;           ///< gaps between consecutive injections
+};
+
+/// A single in-order memory pipeline with fixed latency.  The scheduler
+/// owns arbitration (round-robin among ready warps); the pipeline only
+/// tracks when its injection port is free and prices completions.
+class MemoryPipeline {
+ public:
+  explicit MemoryPipeline(Cycle latency) : latency_(latency) {
+    HMM_REQUIRE(latency >= 1, "pipeline latency must be >= 1");
+  }
+
+  Cycle latency() const { return latency_; }
+
+  /// Earliest cycle a new batch could begin injecting.
+  Cycle next_free() const { return stats_.busy_until; }
+
+  /// Inject a batch of `stages` stages carrying `requests` thread
+  /// requests, no earlier than `ready`.  Returns the slot it got.
+  PipelineSlot inject(Cycle ready, std::int64_t stages,
+                      std::int64_t requests);
+
+  const PipelineStats& stats() const { return stats_; }
+
+  /// Forget all history (geometry and latency are preserved).
+  void reset() { stats_ = PipelineStats{}; }
+
+ private:
+  Cycle latency_;
+  PipelineStats stats_;
+};
+
+}  // namespace hmm

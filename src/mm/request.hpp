@@ -1,0 +1,31 @@
+// Memory access requests as issued by the threads of a warp.
+//
+// Per the model (§II), when a warp is dispatched each of its w threads may
+// send at most one request.  A WarpBatch is the set of requests one warp
+// sends in one dispatch; the MMU prices the whole batch (see
+// batch_cost.hpp) and services it as a unit.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hmm {
+
+/// What a single thread asks the memory to do.
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// One thread's request within a warp dispatch.
+struct Request {
+  ThreadId lane = 0;  ///< thread index within the warp, 0 <= lane < w
+  AccessKind kind = AccessKind::kRead;
+  Address address = 0;
+  Word value = 0;  ///< payload for writes; ignored for reads
+};
+
+/// All requests one warp sends in one dispatch.  May be empty (a warp in
+/// which no thread needs memory is simply not dispatched) and may contain
+/// fewer than w requests (threads may sit out an access).
+using WarpBatch = std::vector<Request>;
+
+}  // namespace hmm

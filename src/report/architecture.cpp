@@ -1,0 +1,89 @@
+#include "report/architecture.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hmm {
+
+namespace {
+
+/// A row of `count` boxes labelled `label`, e.g. "[MB][MB][MB][MB]".
+std::string boxes(const std::string& label, std::int64_t count,
+                  std::int64_t cap = 8) {
+  std::ostringstream os;
+  const std::int64_t shown = std::min(count, cap);
+  for (std::int64_t i = 0; i < shown; ++i) os << '[' << label << ']';
+  if (count > cap) os << "...x" << count;
+  return os.str();
+}
+
+void render_single_machine(std::ostringstream& os, const std::string& name,
+                           std::int64_t width, Cycle latency,
+                           std::int64_t threads, bool dmm_pricing) {
+  os << "  " << name << " (w=" << width << ", l=" << latency << ", p=" << threads
+     << ")\n";
+  os << "    threads: " << boxes("T", threads, 12) << "  (warps of " << width
+     << ", round-robin dispatch)\n";
+  if (dmm_pricing) {
+    os << "    address lines: one per bank (independent bank addressing)\n";
+  } else {
+    os << "    address line:  single, broadcast to every bank (address "
+          "groups)\n";
+  }
+  os << "    MMU: " << latency << "-stage pipeline\n";
+  os << "    banks:   " << boxes("MB", width) << "\n";
+}
+
+}  // namespace
+
+std::string render_architecture(const Machine& machine) {
+  std::ostringstream os;
+  const auto& topo = machine.topology();
+  const bool is_hmm = machine.has_shared() && machine.has_global();
+
+  if (is_hmm) {
+    os << "HMM: " << topo.num_dmms() << " DMMs + 1 UMM (Fig. 2)\n";
+    os << "  global memory (UMM view, w=" << machine.width()
+       << ", l=" << machine.global_latency() << "):\n";
+    os << "    banks: " << boxes("MB", machine.width()) << "\n";
+    os << "    NoC & MMU: single shared " << machine.global_latency()
+       << "-stage pipeline, warps of all DMMs arbitrate round-robin\n";
+    os << "  DMMs (shared memories, l=" << machine.shared_latency() << "):\n";
+    for (DmmId j = 0; j < std::min<std::int64_t>(topo.num_dmms(), 4); ++j) {
+      os << "    DMM(" << j << "): " << boxes("MB", machine.width())
+         << "  threads " << boxes("T", topo.threads_on(j), 8) << "\n";
+    }
+    if (topo.num_dmms() > 4) {
+      os << "    ... " << topo.num_dmms() - 4 << " more DMMs\n";
+    }
+  } else if (machine.has_shared()) {
+    os << "DMM (Fig. 1, left)\n";
+    render_single_machine(os, "DMM", machine.width(), machine.shared_latency(),
+                          topo.total_threads(), /*dmm_pricing=*/true);
+  } else {
+    os << "UMM (Fig. 1, right)\n";
+    render_single_machine(os, "UMM", machine.width(), machine.global_latency(),
+                          topo.total_threads(), /*dmm_pricing=*/false);
+  }
+  return os.str();
+}
+
+std::string describe(const Machine& machine) {
+  std::ostringstream os;
+  const auto& topo = machine.topology();
+  if (machine.has_shared() && machine.has_global()) {
+    os << "HMM(d=" << topo.num_dmms() << ", w=" << machine.width()
+       << ", p=" << topo.total_threads() << ", shared l="
+       << machine.shared_latency() << ", global l="
+       << machine.global_latency() << ")";
+  } else if (machine.has_shared()) {
+    os << "DMM(w=" << machine.width() << ", l=" << machine.shared_latency()
+       << ", p=" << topo.total_threads() << ")";
+  } else {
+    os << "UMM(w=" << machine.width() << ", l=" << machine.global_latency()
+       << ", p=" << topo.total_threads() << ")";
+  }
+  return os.str();
+}
+
+}  // namespace hmm

@@ -1,0 +1,22 @@
+// ASCII rendering of a configured machine's topology — regenerates the
+// architecture diagrams of Fig. 1 (DMM/UMM) and Fig. 2 (HMM) from live
+// Machine objects rather than from static text.
+#pragma once
+
+#include <string>
+
+#include "machine/machine.hpp"
+
+namespace hmm {
+
+/// Multi-line ASCII diagram: memory banks / address groups, MMU wiring
+/// (separate address lines for DMM pricing, one broadcast line for UMM
+/// pricing), warps, and — for an HMM — the per-DMM shared memories under
+/// the NoC and global memory.
+std::string render_architecture(const Machine& machine);
+
+/// One-line summary, e.g. "HMM(d=16, w=32, p=1536x16, shared l=1,
+/// global l=400)".
+std::string describe(const Machine& machine);
+
+}  // namespace hmm

@@ -1,0 +1,26 @@
+// ASCII Gantt rendering of a recorded TraceEvent stream — one row per
+// warp, one column per time bucket, showing injection (I), in-flight
+// (~), compute (#) and barrier-release (|) activity.  Used by the
+// fig4 bench, the CLI's --trace mode and the timeline example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/report.hpp"
+
+namespace hmm {
+
+struct GanttOptions {
+  std::int64_t max_columns = 96;  ///< terminal width budget (>= 8)
+  std::int64_t max_warps = 32;    ///< rows; later warps are elided
+};
+
+/// Render the trace of `report` (must have been recorded) into an ASCII
+/// chart spanning [0, report.makespan].  When the makespan exceeds
+/// max_columns, each column aggregates a bucket of cycles and shows the
+/// dominant activity.
+std::string render_gantt(const RunReport& report,
+                         const GanttOptions& options = {});
+
+}  // namespace hmm

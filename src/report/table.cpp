@@ -1,0 +1,92 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace hmm {
+
+void Table::set_header(std::vector<std::string> header) {
+  HMM_REQUIRE(rows_.empty(), "set_header after rows were added");
+  HMM_REQUIRE(!header.empty(), "header must have at least one column");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  HMM_REQUIRE(!header_.empty(), "add_row before set_header");
+  HMM_REQUIRE(row.size() == header_.size(),
+              "row width does not match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::cell(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::to_ascii() const {
+  HMM_REQUIRE(!header_.empty(), "table has no header");
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  HMM_REQUIRE(!header_.empty(), "table has no header");
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  os << to_ascii();
+}
+
+}  // namespace hmm

@@ -1,0 +1,45 @@
+// Plain-text table rendering shared by the benchmark harness and the
+// examples.  Produces aligned ASCII (for terminals / the recorded
+// bench_output.txt) and CSV (for downstream plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmm {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the column headers; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a cell list from heterogeneous values.
+  static std::string cell(std::int64_t v);
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(std::string v) { return v; }
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Render as aligned ASCII with a separator under the header.
+  std::string to_ascii() const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes escaped).
+  std::string to_csv() const;
+
+  /// to_ascii() to the stream, title first when present.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hmm

@@ -1,0 +1,149 @@
+// Unit + property tests for the warp-batch pricing rules of §II —
+// bank conflicts (DMM) and address-group coalescing (UMM) — and the
+// bank/group geometry of Fig. 3.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "mm/batch_cost.hpp"
+#include "mm/geometry.hpp"
+
+namespace hmm {
+namespace {
+
+WarpBatch reads(std::initializer_list<Address> addrs) {
+  WarpBatch b;
+  std::int64_t lane = 0;
+  for (Address a : addrs) {
+    b.push_back(Request{.lane = lane++, .kind = AccessKind::kRead,
+                        .address = a, .value = 0});
+  }
+  return b;
+}
+
+TEST(Geometry, Fig3LayoutForWidth4) {
+  // Fig. 3: with w = 4, address 0..15 fall into banks by a mod 4 and
+  // address groups by a div 4.
+  const MemoryGeometry g(4);
+  EXPECT_EQ(g.bank_of(0), 0);
+  EXPECT_EQ(g.bank_of(5), 1);
+  EXPECT_EQ(g.bank_of(10), 2);
+  EXPECT_EQ(g.bank_of(15), 3);
+  EXPECT_EQ(g.group_of(0), 0);
+  EXPECT_EQ(g.group_of(3), 0);
+  EXPECT_EQ(g.group_of(4), 1);
+  EXPECT_EQ(g.group_of(15), 3);
+  EXPECT_EQ(g.lane_of(6), 2);
+  EXPECT_THROW(g.bank_of(-1), PreconditionError);
+}
+
+TEST(BatchCost, CoalescedAccessCostsOneEverywhere) {
+  const MemoryGeometry g(4);
+  const auto b = reads({8, 9, 10, 11});  // one group, four banks
+  EXPECT_EQ(dmm_batch_stages(g, b), 1);
+  EXPECT_EQ(umm_batch_stages(g, b), 1);
+}
+
+TEST(BatchCost, StrideWAccessIsWorstCaseOnBoth) {
+  const MemoryGeometry g(4);
+  const auto b = reads({0, 4, 8, 12});  // one bank, four groups
+  EXPECT_EQ(dmm_batch_stages(g, b), 4);
+  EXPECT_EQ(umm_batch_stages(g, b), 4);
+}
+
+TEST(BatchCost, PermutationWithinGroupIsFreeOnDmmOnly) {
+  const MemoryGeometry g(4);
+  // Distinct banks but spread over 4 groups: conflict-free on the DMM,
+  // maximally uncoalesced on the UMM.  This is the separation between
+  // the two machines.
+  const auto b = reads({0, 5, 10, 15});
+  EXPECT_EQ(dmm_batch_stages(g, b), 1);
+  EXPECT_EQ(umm_batch_stages(g, b), 4);
+}
+
+TEST(BatchCost, SameAddressMergesForFree) {
+  const MemoryGeometry g(4);
+  // All four threads read address 6: a broadcast, one stage on both.
+  const auto b = reads({6, 6, 6, 6});
+  EXPECT_EQ(dmm_batch_stages(g, b), 1);
+  EXPECT_EQ(umm_batch_stages(g, b), 1);
+
+  // Two pairs of duplicates in one bank: two distinct addresses remain.
+  const auto b2 = reads({2, 2, 6, 6});
+  EXPECT_EQ(dmm_batch_stages(g, b2), 2);
+  EXPECT_EQ(umm_batch_stages(g, b2), 2);
+}
+
+TEST(BatchCost, EmptyBatchCostsNothing) {
+  const MemoryGeometry g(4);
+  const WarpBatch empty;
+  EXPECT_EQ(dmm_batch_stages(g, empty), 0);
+  EXPECT_EQ(umm_batch_stages(g, empty), 0);
+}
+
+TEST(BatchCost, Fig4WarpCosts) {
+  // Fig. 4's two warps on w = 4: W(0) touches 3 address groups, W(4)
+  // touches 1.
+  const MemoryGeometry g(4);
+  const auto w0 = reads({0, 2, 6, 15});   // groups 0, 0, 1, 3
+  const auto w4 = reads({8, 9, 10, 11});  // group 2
+  EXPECT_EQ(umm_batch_stages(g, w0), 3);
+  EXPECT_EQ(umm_batch_stages(g, w4), 1);
+}
+
+TEST(BatchCost, ProfileReportsHottestBank) {
+  const MemoryGeometry g(4);
+  const auto p = profile_batch(g, reads({0, 4, 8, 3}));
+  EXPECT_EQ(p.distinct_addresses, 4);
+  EXPECT_EQ(p.dmm_stages, 3);
+  EXPECT_EQ(p.hottest_bank, 0);
+  EXPECT_EQ(p.touched_banks, 2);
+  EXPECT_EQ(p.umm_stages, 3);  // groups 0, 1, 2
+}
+
+// Property (§II): for ANY batch, the DMM never serialises more than the
+// UMM de-coalesces — each address group holds at most one address per
+// bank, so max-per-bank <= #groups.
+TEST(BatchCostProperty, DmmStagesNeverExceedUmmStages) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::int64_t w = 1 + static_cast<std::int64_t>(rng.next_below(64));
+    const MemoryGeometry g(w);
+    WarpBatch b;
+    const auto lanes = 1 + rng.next_below(static_cast<std::uint64_t>(w));
+    for (std::uint64_t i = 0; i < lanes; ++i) {
+      b.push_back(Request{.lane = static_cast<ThreadId>(i),
+                          .kind = AccessKind::kRead,
+                          .address = static_cast<Address>(rng.next_below(512)),
+                          .value = 0});
+    }
+    const auto dmm = dmm_batch_stages(g, b);
+    const auto umm = umm_batch_stages(g, b);
+    EXPECT_LE(dmm, umm) << "w=" << w << " trial=" << trial;
+    EXPECT_GE(dmm, 1);
+    EXPECT_LE(umm, static_cast<std::int64_t>(lanes));
+  }
+}
+
+// Property: batch costs are permutation invariant (the MMU prices the
+// set of addresses, not their lane order).
+TEST(BatchCostProperty, LaneOrderIrrelevant) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const MemoryGeometry g(8);
+    WarpBatch b;
+    for (std::int64_t lane = 0; lane < 8; ++lane) {
+      b.push_back(Request{.lane = lane, .kind = AccessKind::kRead,
+                          .address = static_cast<Address>(rng.next_below(64)),
+                          .value = 0});
+    }
+    WarpBatch shuffled = b;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    }
+    EXPECT_EQ(dmm_batch_stages(g, b), dmm_batch_stages(g, shuffled));
+    EXPECT_EQ(umm_batch_stages(g, b), umm_batch_stages(g, shuffled));
+  }
+}
+
+}  // namespace
+}  // namespace hmm

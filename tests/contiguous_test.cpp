@@ -1,0 +1,131 @@
+// EXACT timing tests for the contiguous memory access (§IV, Lemma 1 and
+// Theorem 2).  Under the normative timing semantics (DESIGN.md §4) the
+// kernel's makespan has a closed form in each of the paper's regimes:
+//
+//   p/w >= l (pipeline-saturated):  n/w + l - 1
+//   p/w <  l (latency-bound):       (n/p)*l + p/w - 1
+//
+// (for w | p and p | n), both of which are Θ(n/w + nl/p + l) as Lemma 1
+// states.  Pinning the exact values pins the whole engine: round-robin
+// arbitration, pipelining, the one-outstanding-request rule and the
+// exec-unit issue rate all enter these numbers.
+#include <gtest/gtest.h>
+
+#include "alg/contiguous.hpp"
+#include "analysis/cost_model.hpp"
+#include "core/mathutil.hpp"
+
+namespace hmm {
+namespace {
+
+Cycle expected_contiguous(std::int64_t n, std::int64_t p, std::int64_t w,
+                          std::int64_t l) {
+  const std::int64_t warps = p / w;
+  if (warps >= l) return n / w + l - 1;
+  return (n / p) * l + warps - 1;
+}
+
+struct Lemma1Case {
+  std::int64_t n, p, w, l;
+};
+
+class Lemma1Exact : public ::testing::TestWithParam<Lemma1Case> {};
+
+TEST_P(Lemma1Exact, ReadMatchesClosedFormOnUmm) {
+  const auto [n, p, w, l] = GetParam();
+  Machine m = Machine::umm(w, l, p, n);
+  const auto r = alg::contiguous_read(m, MemorySpace::kGlobal, 0, n);
+  EXPECT_EQ(r.makespan, expected_contiguous(n, p, w, l))
+      << "n=" << n << " p=" << p << " w=" << w << " l=" << l;
+  // Coalesced: exactly one stage per warp-round.
+  EXPECT_EQ(r.global_pipeline.stages, n / w);
+  EXPECT_EQ(r.global_pipeline.requests, n);
+}
+
+TEST_P(Lemma1Exact, ReadMatchesClosedFormOnDmm) {
+  const auto [n, p, w, l] = GetParam();
+  Machine m = Machine::dmm(w, l, p, n);
+  const auto r = alg::contiguous_read(m, MemorySpace::kShared, 0, n);
+  EXPECT_EQ(r.makespan, expected_contiguous(n, p, w, l));
+  EXPECT_EQ(r.shared_pipelines.at(0).stages, n / w);
+}
+
+TEST_P(Lemma1Exact, WriteCostsTheSameAsRead) {
+  const auto [n, p, w, l] = GetParam();
+  Machine m = Machine::umm(w, l, p, n);
+  const auto r = alg::contiguous_write(m, MemorySpace::kGlobal, 0, n, 5);
+  EXPECT_EQ(r.makespan, expected_contiguous(n, p, w, l));
+  // And the data landed.
+  for (Address a = 0; a < n; a += n / 4 + 1) {
+    EXPECT_EQ(m.global_memory().peek(a), 5 + a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma1Exact,
+    ::testing::Values(Lemma1Case{256, 64, 8, 4},     // warps=8 >= l=4
+                      Lemma1Case{256, 64, 8, 8},     // boundary warps == l
+                      Lemma1Case{256, 32, 8, 32},    // latency-bound
+                      Lemma1Case{1024, 256, 32, 8},  // saturated
+                      Lemma1Case{1024, 32, 32, 100}, // single warp, deep l
+                      Lemma1Case{4096, 512, 32, 1},  // l = 1
+                      Lemma1Case{64, 64, 8, 2},      // one round (n = p)
+                      Lemma1Case{1 << 14, 2048, 32, 64}));
+
+TEST(Lemma1Edge, MoreThreadsThanElements) {
+  // p > n: only n threads touch memory; the rest finish instantly.
+  // n/w full warps inject back-to-back: n/w + l - 1.
+  Machine m = Machine::umm(/*w=*/8, /*l=*/4, /*p=*/128, /*mem=*/32);
+  const auto r = alg::contiguous_read(m, MemorySpace::kGlobal, 0, 32);
+  EXPECT_EQ(r.makespan, 32 / 8 + 4 - 1);
+}
+
+TEST(Lemma1Edge, RaggedSizesStillWithinLemma1Band) {
+  // Non-divisible n/p/w: no closed form asserted, but the Θ-band holds.
+  for (std::int64_t n : {37, 333, 1000}) {
+    for (std::int64_t p : {24, 56}) {
+      for (std::int64_t w : {8}) {
+        for (std::int64_t l : {3, 17}) {
+          Machine m = Machine::umm(w, l, p, n);
+          const auto r = alg::contiguous_read(m, MemorySpace::kGlobal, 0, n);
+          const double predicted = analysis::contiguous_access_time(n, p, w, l);
+          const double ratio =
+              static_cast<double>(r.makespan) / predicted;
+          EXPECT_GT(ratio, 0.2) << n << " " << p << " " << w << " " << l;
+          EXPECT_LT(ratio, 4.0) << n << " " << p << " " << w << " " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(Theorem2, SeveralArraysCostLikeOneOfTotalSize) {
+  // Theorem 2: accessing k <= p/w arrays in turn costs the same as one
+  // contiguous array of the total size (exactly, when sizes divide p).
+  const std::int64_t p = 64, w = 8, l = 4;
+  Machine m = Machine::umm(w, l, p, 1024);
+  const auto combined =
+      alg::contiguous_read_arrays(m, MemorySpace::kGlobal,
+                                  {{0, 256}, {256, 128}, {512, 256}});
+  EXPECT_EQ(combined.makespan, expected_contiguous(256 + 128 + 256, p, w, l));
+}
+
+TEST(StridedAccessAblation, StrideWCostsWTimesMore) {
+  // The anti-pattern the model punishes: stride-w reads hit one bank
+  // (DMM) / w groups (UMM), multiplying the stage count by w.
+  const std::int64_t n = 1024, p = 256, w = 32, l = 2;
+  Machine coalesced = Machine::umm(w, l, p, n * w);
+  const auto good = alg::contiguous_read(coalesced, MemorySpace::kGlobal, 0, n);
+
+  Machine strided = Machine::umm(w, l, p, n * w);
+  const auto bad = strided.run([&](ThreadCtx& t) -> SimTask {
+    for (Address i = t.thread_id(); i < n; i += p) {
+      co_await t.read(MemorySpace::kGlobal, i * w);  // all lanes same bank
+    }
+  });
+  EXPECT_EQ(bad.global_pipeline.stages, w * good.global_pipeline.stages);
+  EXPECT_GT(bad.makespan, (w / 2) * good.makespan);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,200 @@
+// Correctness and timing-shape tests for the direct convolution on every
+// model (§V, §VIII, §IX: Lemma 4, Theorem 8, Theorem 9 / Corollary 10).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alg/convolution.hpp"
+#include "alg/workload.hpp"
+#include "analysis/cost_model.hpp"
+
+namespace hmm {
+namespace {
+
+std::vector<Word> oracle(const std::vector<Word>& a,
+                         const std::vector<Word>& x) {
+  const auto m = static_cast<std::int64_t>(a.size());
+  const auto n = static_cast<std::int64_t>(x.size()) - m + 1;
+  std::vector<Word> z(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      z[static_cast<std::size_t>(i)] +=
+          a[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(i + j)];
+    }
+  }
+  return z;
+}
+
+TEST(ConvSequential, MatchesOracleAndCountsMnOps) {
+  const std::int64_t m = 9, n = 200;
+  const auto a = alg::random_words(m, 3);
+  const auto x = alg::random_words(alg::conv_signal_length(m, n), 4);
+  const auto r = alg::convolution_sequential(a, x);
+  EXPECT_EQ(r.z, oracle(a, x));
+  // per output: m*(2 reads + 1 mac) + 1 write
+  EXPECT_EQ(r.time, n * (3 * m + 1));
+}
+
+TEST(ConvPram, MatchesOracleAcrossThreadCounts) {
+  const std::int64_t m = 8, n = 64;
+  const auto a = alg::random_words(m, 5);
+  const auto x = alg::random_words(alg::conv_signal_length(m, n), 6);
+  const auto want = oracle(a, x);
+  for (std::int64_t p : {1, 7, 64, 128, 512}) {  // spans p<n, p=n, p>n
+    EXPECT_EQ(alg::convolution_pram(a, x, p).z, want) << "p=" << p;
+  }
+}
+
+TEST(ConvPram, TimeTracksLemma4) {
+  const std::int64_t m = 32, n = 1024;
+  const auto a = alg::iota_words(m);
+  const auto x = alg::iota_words(alg::conv_signal_length(m, n));
+  for (std::int64_t p : {16, 256, 4096}) {
+    const auto r = alg::convolution_pram(a, x, p);
+    const double predicted = analysis::conv_pram_time(m, n, p);
+    const double ratio = static_cast<double>(r.time) / predicted;
+    EXPECT_GT(ratio, 0.2) << "p=" << p;
+    EXPECT_LT(ratio, 8.0) << "p=" << p;
+  }
+}
+
+struct ConvMmCase {
+  std::int64_t m, n, p, w, l;
+};
+
+class ConvMmTest : public ::testing::TestWithParam<ConvMmCase> {};
+
+TEST_P(ConvMmTest, DmmMatchesOracle) {
+  const auto [m, n, p, w, l] = GetParam();
+  const auto a = alg::random_words(m, static_cast<std::uint64_t>(m));
+  const auto x = alg::random_words(alg::conv_signal_length(m, n),
+                                   static_cast<std::uint64_t>(n));
+  EXPECT_EQ(alg::convolution_dmm(a, x, p, w, l).z, oracle(a, x));
+}
+
+TEST_P(ConvMmTest, UmmMatchesOracle) {
+  const auto [m, n, p, w, l] = GetParam();
+  const auto a = alg::random_words(m, static_cast<std::uint64_t>(m + 1));
+  const auto x = alg::random_words(alg::conv_signal_length(m, n),
+                                   static_cast<std::uint64_t>(n + 1));
+  EXPECT_EQ(alg::convolution_umm(a, x, p, w, l).z, oracle(a, x));
+}
+
+TEST_P(ConvMmTest, UmmTimeTracksTheorem8) {
+  const auto [m, n, p, w, l] = GetParam();
+  const auto a = alg::iota_words(m);
+  const auto x = alg::iota_words(alg::conv_signal_length(m, n));
+  const auto r = alg::convolution_umm(a, x, p, w, l);
+  const double predicted = analysis::conv_mm_time(m, n, p, w, l);
+  const double ratio = static_cast<double>(r.report.makespan) / predicted;
+  EXPECT_GT(ratio, 0.2) << "m=" << m << " n=" << n << " p=" << p;
+  EXPECT_LT(ratio, 12.0) << "m=" << m << " n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvMmTest,
+    ::testing::Values(ConvMmCase{1, 16, 4, 4, 2},       // m = 1 edge
+                      ConvMmCase{3, 50, 8, 4, 2},       // ragged
+                      ConvMmCase{8, 64, 16, 8, 4},      // p < n
+                      ConvMmCase{8, 64, 64, 8, 4},      // p = n
+                      ConvMmCase{8, 64, 256, 8, 4},     // p = 4n (teams)
+                      ConvMmCase{16, 256, 1024, 32, 16},// p = 4n, wide
+                      ConvMmCase{32, 256, 256, 32, 64}, // latency-bound
+                      ConvMmCase{5, 33, 7, 4, 3}));     // odd everything
+
+struct ConvHmmCase {
+  std::int64_t m, n, d, pd, w, l;
+};
+
+class ConvHmmTest : public ::testing::TestWithParam<ConvHmmCase> {};
+
+TEST_P(ConvHmmTest, MatchesOracle) {
+  const auto [m, n, d, pd, w, l] = GetParam();
+  const auto a = alg::random_words(m, static_cast<std::uint64_t>(m * 3));
+  const auto x = alg::random_words(alg::conv_signal_length(m, n),
+                                   static_cast<std::uint64_t>(n * 3));
+  EXPECT_EQ(alg::convolution_hmm(a, x, d, pd, w, l).z, oracle(a, x));
+}
+
+TEST_P(ConvHmmTest, TimeTracksCorollary10) {
+  const auto [m, n, d, pd, w, l] = GetParam();
+  const auto a = alg::iota_words(m);
+  const auto x = alg::iota_words(alg::conv_signal_length(m, n));
+  const auto r = alg::convolution_hmm(a, x, d, pd, w, l);
+  const double predicted = analysis::conv_hmm_time(m, n, d * pd, w, l, d);
+  const double ratio = static_cast<double>(r.report.makespan) / predicted;
+  EXPECT_GT(ratio, 0.2) << "m=" << m << " n=" << n << " d=" << d;
+  EXPECT_LT(ratio, 15.0) << "m=" << m << " n=" << n << " d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvHmmTest,
+    ::testing::Values(ConvHmmCase{1, 16, 2, 4, 4, 8},      // m = 1
+                      ConvHmmCase{4, 64, 4, 8, 4, 16},     // p/d < n/d
+                      ConvHmmCase{4, 64, 4, 16, 4, 16},    // p/d = n/d
+                      ConvHmmCase{4, 64, 4, 32, 4, 16},    // teams in shared
+                      ConvHmmCase{16, 512, 8, 64, 32, 64}, //
+                      ConvHmmCase{8, 96, 3, 32, 8, 32},    // d = 3 ragged
+                      ConvHmmCase{2, 32, 1, 8, 4, 4}));    // d = 1 edge
+
+TEST(ConvHmm, RejectsFilterLargerThanSlice) {
+  // Corollary 10's regime is m <= n/d; the implementation enforces it.
+  const auto a = alg::iota_words(32);
+  const auto x = alg::iota_words(alg::conv_signal_length(32, 64));
+  EXPECT_THROW(alg::convolution_hmm(a, x, /*d=*/4, /*pd=*/16, 8, 8),
+               PreconditionError);
+}
+
+TEST(ConvHmmChunked, MatchesOracleAcrossChunkSizes) {
+  const std::int64_t m = 8, n = 192;
+  const auto a = alg::random_words(m, 21);
+  const auto x = alg::random_words(alg::conv_signal_length(m, n), 22);
+  const auto want = oracle(a, x);
+  const std::int64_t slice = n / 4;
+  for (std::int64_t chunk : {8, 16, 24, 64, 1024}) {  // incl. ragged tails
+    for (std::int64_t pd : {8, 16, 32}) {
+      const std::int64_t t_eff = std::min(chunk, slice);
+      if (pd > t_eff && pd % t_eff != 0) continue;  // documented precondition
+      EXPECT_EQ(
+          alg::convolution_hmm_chunked(a, x, 4, pd, 8, 16, chunk).z, want)
+          << "chunk=" << chunk << " pd=" << pd;
+    }
+  }
+}
+
+TEST(ConvHmmChunked, FitsABoundedSharedMemoryWhereTheSliceDoesNot) {
+  // The §III reality check: slice = 2048 words per DMM, but only a
+  // 48KB-class budget is needed — chunk = 128 keeps shared usage at
+  // Θ(m + chunk) while the monolithic kernel would demand Θ(m + slice).
+  const std::int64_t m = 16, n = 8192, d = 4;
+  const auto a = alg::random_words(m, 23);
+  const auto x = alg::random_words(alg::conv_signal_length(m, n), 24);
+  const auto chunked =
+      alg::convolution_hmm_chunked(a, x, d, 64, 32, 200, /*chunk=*/128);
+  const auto monolithic = alg::convolution_hmm(a, x, d, 64, 32, 200);
+  EXPECT_EQ(chunked.z, monolithic.z);
+  // Same asymptotics: within a small factor of the unconstrained kernel.
+  EXPECT_LT(chunked.report.makespan, 3 * monolithic.report.makespan);
+}
+
+TEST(ConvHmmChunked, RejectsChunkSmallerThanTheFilter) {
+  const auto a = alg::random_words(16, 25);
+  const auto x = alg::random_words(alg::conv_signal_length(16, 64), 26);
+  EXPECT_THROW(alg::convolution_hmm_chunked(a, x, 2, 8, 4, 8, /*chunk=*/8),
+               PreconditionError);
+}
+
+TEST(ConvConsistency, AllModelsAgreeOnOneInput) {
+  const std::int64_t m = 8, n = 128;
+  const auto a = alg::random_words(m, 77);
+  const auto x = alg::random_words(alg::conv_signal_length(m, n), 78);
+  const auto want = oracle(a, x);
+  EXPECT_EQ(alg::convolution_sequential(a, x).z, want);
+  EXPECT_EQ(alg::convolution_pram(a, x, 64).z, want);
+  EXPECT_EQ(alg::convolution_dmm(a, x, 64, 32, 1).z, want);
+  EXPECT_EQ(alg::convolution_umm(a, x, 64, 32, 32).z, want);
+  EXPECT_EQ(alg::convolution_hmm(a, x, 4, 32, 32, 32).z, want);
+}
+
+}  // namespace
+}  // namespace hmm

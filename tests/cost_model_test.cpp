@@ -1,0 +1,134 @@
+// Pins the algebra of Table I (computing-time forms) and Table II
+// (lower-bound limitations), including the paper's optimality argument:
+// each upper-bound form is within a constant factor of the sum of its
+// model's limitations.
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/shape.hpp"
+#include "core/error.hpp"
+
+using hmm::PreconditionError;
+
+namespace hmm::analysis {
+namespace {
+
+TEST(CostModel, ContiguousAccessLemma1) {
+  // n/w + nl/p + l with n=1024, p=128, w=32, l=8: 32 + 64 + 8.
+  EXPECT_DOUBLE_EQ(contiguous_access_time(1024, 128, 32, 8), 104.0);
+  EXPECT_THROW(contiguous_access_time(0, 1, 1, 1), PreconditionError);
+}
+
+TEST(CostModel, TableISumForms) {
+  EXPECT_DOUBLE_EQ(sum_sequential_time(1000), 1000.0);
+  EXPECT_DOUBLE_EQ(sum_pram_time(1024, 64), 16.0 + 10.0);
+  EXPECT_DOUBLE_EQ(sum_mm_time(1024, 128, 32, 8), 32.0 + 64.0 + 80.0);
+  EXPECT_DOUBLE_EQ(sum_hmm_time(1024, 128, 32, 8, 4), 32.0 + 64.0 + 8 + 10);
+  EXPECT_DOUBLE_EQ(sum_hmm_straightforward_time(1024, 64, 32, 8),
+                   32.0 + 128.0 + 8 * 6);
+}
+
+TEST(CostModel, TableIConvolutionForms) {
+  EXPECT_DOUBLE_EQ(conv_sequential_time(32, 1000), 32000.0);
+  EXPECT_DOUBLE_EQ(conv_pram_time(32, 1024, 256), 128.0 + 5.0);
+  // mn/w + mnl/p + l log m with m=16, n=512, p=256, w=32, l=4:
+  // 256 + 128 + 16.
+  EXPECT_DOUBLE_EQ(conv_mm_time(16, 512, 256, 32, 4), 400.0);
+  // n/w + mn/(dw) + nl/p + l + log m with m=16, n=512, p=256, w=32, l=4,
+  // d=4: 16 + 64 + 8 + 4 + 4.
+  EXPECT_DOUBLE_EQ(conv_hmm_time(16, 512, 256, 32, 4, 4), 96.0);
+}
+
+TEST(CostModel, Log2LevelsClampsAtOne) {
+  EXPECT_DOUBLE_EQ(log2_levels(1), 0.0);
+  EXPECT_DOUBLE_EQ(log2_levels(2), 1.0);
+  EXPECT_DOUBLE_EQ(log2_levels(1024), 10.0);
+  EXPECT_THROW(log2_levels(0), PreconditionError);
+}
+
+// The optimality claims: each Table-I form equals (within a constant) the
+// sum of its Table-II limitations, and dominates each single limitation.
+TEST(Optimality, SumFormsMatchTheirLowerBounds) {
+  for (std::int64_t n : {1 << 10, 1 << 16, 1 << 22}) {
+    for (std::int64_t p : {32, 1024, 16384}) {
+      const auto pb = sum_pram_bounds(n, p);
+      const double pt = sum_pram_time(n, p);
+      EXPECT_GE(pt * 1.0001, pb.max_term());
+      EXPECT_LE(pt, 2.0 * pb.total());
+
+      for (std::int64_t w : {16, 32}) {
+        for (std::int64_t l : {2, 128}) {
+          const auto mb = sum_mm_bounds(n, p, w, l);
+          const double mt = sum_mm_time(n, p, w, l);
+          EXPECT_GE(mt * 1.0001, mb.max_term());
+          EXPECT_LE(mt, 2.0 * mb.total());
+
+          for (std::int64_t d : {4, 16}) {
+            const auto hb = sum_hmm_bounds(n, p, w, l, d);
+            const double ht = sum_hmm_time(n, p, w, l, d);
+            EXPECT_GE(ht * 1.0001, hb.max_term());
+            EXPECT_LE(ht, 2.0 * hb.total());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Optimality, ConvolutionFormsMatchTheirLowerBounds) {
+  for (std::int64_t m : {8, 256}) {
+    for (std::int64_t n : {1 << 12, 1 << 18}) {
+      for (std::int64_t p : {64, 4096}) {
+        const auto pb = conv_pram_bounds(m, n, p);
+        EXPECT_LE(conv_pram_time(m, n, p), 2.0 * pb.total());
+
+        for (std::int64_t w : {32}) {
+          for (std::int64_t l : {4, 256}) {
+            const auto mb = conv_mm_bounds(m, n, p, w, l);
+            const double mt = conv_mm_time(m, n, p, w, l);
+            EXPECT_GE(mt * 1.0001, mb.max_term());
+            EXPECT_LE(mt, 2.0 * mb.total());
+
+            for (std::int64_t d : {8}) {
+              const auto hb = conv_hmm_bounds(m, n, p, w, l, d);
+              const double ht = conv_hmm_time(m, n, p, w, l, d);
+              EXPECT_GE(ht * 1.0001, hb.max_term());
+              EXPECT_LE(ht, 2.0 * hb.total());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The HMM's whole selling point, in the algebra: the HMM sum form beats
+// the single-machine form once l*log n dominates, and the HMM
+// convolution beats the single machine by up to d in the speed-up term.
+TEST(Optimality, HmmWinsWhereThePaperSaysItDoes) {
+  const std::int64_t n = 1 << 20, p = 16384, w = 32, l = 512, d = 16;
+  EXPECT_LT(sum_hmm_time(n, p, w, l, d), sum_mm_time(n, p, w, l));
+  const std::int64_t m = 64;
+  EXPECT_LT(conv_hmm_time(m, n, p, w, l, d), conv_mm_time(m, n, p, w, l));
+  // And the d-fold compute advantage is visible at scale:
+  const double ratio =
+      conv_mm_time(m, n, p, w, /*l=*/1) / conv_hmm_time(m, n, p, w, 1, d);
+  EXPECT_GT(ratio, static_cast<double>(d) / 4.0);
+}
+
+TEST(Shape, SummaryAndBand) {
+  const std::vector<ShapePoint> pts{{100.0, 150.0}, {200.0, 260.0},
+                                    {400.0, 560.0}};
+  const auto s = summarize_shape(pts);
+  EXPECT_EQ(s.points, 3);
+  EXPECT_DOUBLE_EQ(s.ratio_min, 1.3);
+  EXPECT_DOUBLE_EQ(s.ratio_max, 1.5);
+  EXPECT_NEAR(s.spread, 1.5 / 1.3, 1e-12);
+  EXPECT_TRUE(within_band(pts, 1.0, 2.0));
+  EXPECT_FALSE(within_band(pts, 1.0, 1.4));
+  EXPECT_THROW(summarize_shape({}), PreconditionError);
+  EXPECT_THROW(within_band(pts, 0.0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmm::analysis

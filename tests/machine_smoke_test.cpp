@@ -1,0 +1,143 @@
+// Engine smoke tests: tiny kernels with hand-computed cycle counts.
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+
+namespace hmm {
+namespace {
+
+// One warp of 4 threads reads one word each (conflict-free, coalesced).
+TEST(MachineSmoke, SingleWarpSingleReadUmm) {
+  Machine m = Machine::umm(/*width=*/4, /*latency=*/5, /*threads=*/4,
+                           /*memory=*/16);
+  for (Address a = 0; a < 16; ++a) m.global_memory().poke(a, 100 + a);
+
+  std::vector<Word> seen(4, 0);
+  const RunReport r = m.run([&](ThreadCtx& t) -> SimTask {
+    seen[static_cast<std::size_t>(t.thread_id())] =
+        co_await t.read(MemorySpace::kGlobal, t.thread_id());
+  });
+
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], 100 + i);
+  // One batch, 1 stage, injected at cycle 0, data ready at 0 + 1-1 + 5 = 5.
+  EXPECT_EQ(r.makespan, 5);
+  EXPECT_EQ(r.global_pipeline.batches, 1);
+  EXPECT_EQ(r.global_pipeline.stages, 1);
+}
+
+// Same read but maximally uncoalesced: 4 distinct address groups.
+TEST(MachineSmoke, SingleWarpStridedReadUmm) {
+  Machine m = Machine::umm(4, 5, 4, 64);
+  const RunReport r = m.run([](ThreadCtx& t) -> SimTask {
+    co_await t.read(MemorySpace::kGlobal, t.thread_id() * 4);  // groups 0..3
+  });
+  // 4 stages + latency 5 - 1 = 8 (Fig. 4 arithmetic).
+  EXPECT_EQ(r.makespan, 8);
+  EXPECT_EQ(r.global_pipeline.stages, 4);
+}
+
+// Strided access on the DMM: same-bank conflicts serialise identically.
+TEST(MachineSmoke, SingleWarpConflictedReadDmm) {
+  Machine m = Machine::dmm(4, 5, 4, 64);
+  const RunReport r = m.run([](ThreadCtx& t) -> SimTask {
+    co_await t.read(MemorySpace::kShared, t.thread_id() * 4);  // all bank 0
+  });
+  EXPECT_EQ(r.makespan, 8);
+  EXPECT_EQ(r.shared_pipelines.at(0).stages, 4);
+}
+
+// ... while on the DMM a stride-1 (conflict-free) warp costs one stage.
+TEST(MachineSmoke, WritesLandAndBarrierSyncs) {
+  Machine m = Machine::dmm(4, 2, 8, 64);
+  const RunReport r = m.run([](ThreadCtx& t) -> SimTask {
+    co_await t.write(MemorySpace::kShared, t.thread_id(), t.thread_id() * 10);
+    co_await t.barrier();
+    // Read a neighbour's value, safe only after the barrier.
+    const Word v = co_await t.read(
+        MemorySpace::kShared, (t.thread_id() + 1) % t.num_threads());
+    co_await t.write(MemorySpace::kShared, 8 + t.thread_id(), v);
+  });
+  EXPECT_EQ(r.barrier_releases, 1);
+  for (Address a = 0; a < 8; ++a) {
+    EXPECT_EQ(m.shared_memory(0).peek(8 + a), ((a + 1) % 8) * 10);
+  }
+  EXPECT_GT(r.makespan, 0);
+}
+
+// Two warps pipeline back-to-back: stages add, latency paid once.
+TEST(MachineSmoke, TwoWarpsPipelineUmm) {
+  Machine m = Machine::umm(4, 5, 8, 64);
+  const RunReport r = m.run([](ThreadCtx& t) -> SimTask {
+    co_await t.read(MemorySpace::kGlobal, t.thread_id());  // 2 coalesced warps
+  });
+  // Warp 0 injects at 0 (exec slot 0), warp 1 at 1; ready = 1 + 5 = 6.
+  EXPECT_EQ(r.makespan, 6);
+  EXPECT_EQ(r.global_pipeline.batches, 2);
+}
+
+// HMM: shared memory has latency 1, global latency l, and they are
+// separate address spaces.
+TEST(MachineSmoke, HmmStagingThroughShared) {
+  Machine m = Machine::hmm(/*width=*/4, /*global_latency=*/10, /*dmms=*/2,
+                           /*threads_per_dmm=*/4, /*shared=*/32,
+                           /*global=*/64);
+  for (Address a = 0; a < 8; ++a) m.global_memory().poke(a, a + 1);
+
+  const RunReport r = m.run([](ThreadCtx& t) -> SimTask {
+    // Each DMM stages its slice of the input into shared memory, doubles
+    // it there, and writes it back.
+    const Address g = t.thread_id();
+    const Word v = co_await t.read(MemorySpace::kGlobal, g);
+    co_await t.write(MemorySpace::kShared, t.local_thread_id(), v);
+    const Word s = co_await t.read(MemorySpace::kShared, t.local_thread_id());
+    co_await t.write(MemorySpace::kGlobal, 8 + g, 2 * s);
+  });
+
+  for (Address a = 0; a < 8; ++a) {
+    EXPECT_EQ(m.global_memory().peek(8 + a), 2 * (a + 1));
+  }
+  EXPECT_EQ(r.shared_pipelines.size(), 2u);
+  EXPECT_GT(r.shared_pipelines[0].batches, 0);
+  EXPECT_GT(r.global_pipeline.batches, 0);
+  EXPECT_GT(r.makespan, 0);
+}
+
+// Compute serialises warps on one DMM's SIMD engine (speed-up limitation).
+TEST(MachineSmoke, ComputeSerialisesPerDmm) {
+  // 4 warps x 4 threads on ONE DMM, each warp computes 10 cycles.
+  Machine one = Machine::dmm(4, 1, 16, 16);
+  const RunReport r1 = one.run([](ThreadCtx& t) -> SimTask {
+    co_await t.compute(10);
+  });
+  EXPECT_EQ(r1.makespan, 40);  // 4 warps x 10 slots on one engine
+
+  // The same 4 warps spread over 4 DMMs of an HMM run concurrently.
+  Machine four = Machine::hmm(4, 1, 4, 4, 16, 16);
+  const RunReport r4 = four.run([](ThreadCtx& t) -> SimTask {
+    co_await t.compute(10);
+  });
+  EXPECT_EQ(r4.makespan, 10);
+}
+
+// A kernel exception propagates out of run() with context intact.
+TEST(MachineSmoke, KernelExceptionPropagates) {
+  Machine m = Machine::dmm(4, 1, 4, 16);
+  EXPECT_THROW(m.run([](ThreadCtx& t) -> SimTask {
+                 if (t.thread_id() == 2) throw std::runtime_error("boom");
+                 co_await t.compute();
+               }),
+               std::runtime_error);
+}
+
+// Issuing a second op without co_await is diagnosed.
+TEST(MachineSmoke, MissingCoAwaitIsDiagnosed) {
+  Machine m = Machine::dmm(4, 1, 4, 16);
+  EXPECT_THROW(m.run([](ThreadCtx& t) -> SimTask {
+                 (void)t.read(MemorySpace::kShared, 0);  // not awaited!
+                 co_await t.read(MemorySpace::kShared, 1);
+               }),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmm

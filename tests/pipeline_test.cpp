@@ -1,0 +1,141 @@
+// Unit tests for the l-stage memory pipeline (§II/§III, Fig. 4) and the
+// banked storage behind it.
+#include <gtest/gtest.h>
+
+#include "mm/bank_memory.hpp"
+#include "mm/pipeline.hpp"
+
+namespace hmm {
+namespace {
+
+TEST(Pipeline, SingleBatchTiming) {
+  MemoryPipeline pipe(/*latency=*/5);
+  const auto slot = pipe.inject(/*ready=*/0, /*stages=*/1, /*requests=*/4);
+  EXPECT_EQ(slot.inject_begin, 0);
+  EXPECT_EQ(slot.inject_end, 0);
+  EXPECT_EQ(slot.data_ready, 5);  // duration = k + l - 1 = 5
+}
+
+TEST(Pipeline, Fig4TwoWarpExample) {
+  // Fig. 4: l = 5, W(0) occupies 3 stages, W(4) occupies 1; total
+  // completion 3 + 1 + 5 - 1 = 8.
+  MemoryPipeline pipe(5);
+  const auto w0 = pipe.inject(0, 3, 4);
+  const auto w4 = pipe.inject(0, 1, 4);
+  EXPECT_EQ(w0.inject_begin, 0);
+  EXPECT_EQ(w0.inject_end, 2);
+  EXPECT_EQ(w0.data_ready, 7);
+  EXPECT_EQ(w4.inject_begin, 3);  // back-to-back behind W(0)
+  EXPECT_EQ(w4.data_ready, 8);
+}
+
+TEST(Pipeline, BatchesQueueBackToBack) {
+  MemoryPipeline pipe(10);
+  Cycle last_ready = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto slot = pipe.inject(0, 1, 1);
+    EXPECT_EQ(slot.inject_begin, i);
+    last_ready = slot.data_ready;
+  }
+  // 8 stages + latency 10 - 1 = 17.
+  EXPECT_EQ(last_ready, 17);
+  EXPECT_EQ(pipe.stats().batches, 8);
+  EXPECT_EQ(pipe.stats().stages, 8);
+  EXPECT_EQ(pipe.stats().idle_cycles, 0);
+}
+
+TEST(Pipeline, GapsAreAccountedAsIdle) {
+  MemoryPipeline pipe(2);
+  (void)pipe.inject(0, 1, 1);
+  const auto slot = pipe.inject(10, 1, 1);
+  EXPECT_EQ(slot.inject_begin, 10);
+  EXPECT_EQ(pipe.stats().idle_cycles, 9);
+}
+
+TEST(Pipeline, RejectsNonsense) {
+  MemoryPipeline pipe(1);
+  EXPECT_THROW(pipe.inject(-1, 1, 1), PreconditionError);
+  EXPECT_THROW(pipe.inject(0, 0, 1), PreconditionError);
+  EXPECT_THROW(pipe.inject(0, 1, 0), PreconditionError);
+  EXPECT_THROW(MemoryPipeline(0), PreconditionError);
+}
+
+TEST(Pipeline, ResetClearsHistory) {
+  MemoryPipeline pipe(3);
+  (void)pipe.inject(0, 4, 4);
+  pipe.reset();
+  EXPECT_EQ(pipe.stats().batches, 0);
+  EXPECT_EQ(pipe.next_free(), 0);
+}
+
+// ---- BankMemory -----------------------------------------------------------
+
+WarpBatch make_batch(std::initializer_list<Request> rs) { return {rs}; }
+
+TEST(BankMemory, BroadcastReadReturnsOneValueToAll) {
+  BankMemory mem(MemoryGeometry(4), 16);
+  mem.poke(6, 42);
+  const auto out = mem.service(make_batch({
+      {.lane = 0, .kind = AccessKind::kRead, .address = 6, .value = 0},
+      {.lane = 1, .kind = AccessKind::kRead, .address = 6, .value = 0},
+      {.lane = 2, .kind = AccessKind::kRead, .address = 6, .value = 0},
+  }));
+  EXPECT_EQ(out.values, (std::vector<Word>{42, 42, 42}));
+}
+
+TEST(BankMemory, ConflictingWritesHaveDeterministicWinner) {
+  BankMemory mem(MemoryGeometry(4), 16);
+  (void)mem.service(make_batch({
+      {.lane = 0, .kind = AccessKind::kWrite, .address = 3, .value = 10},
+      {.lane = 2, .kind = AccessKind::kWrite, .address = 3, .value = 30},
+      {.lane = 1, .kind = AccessKind::kWrite, .address = 3, .value = 20},
+  }));
+  EXPECT_EQ(mem.peek(3), 30);  // highest lane wins, replayable
+}
+
+TEST(BankMemory, ReadsObservePreBatchState) {
+  BankMemory mem(MemoryGeometry(4), 16);
+  mem.poke(2, 7);
+  const auto out = mem.service(make_batch({
+      {.lane = 0, .kind = AccessKind::kWrite, .address = 2, .value = 99},
+      {.lane = 1, .kind = AccessKind::kRead, .address = 2, .value = 0},
+  }));
+  EXPECT_EQ(out.values[1], 7);  // the read sees the pre-batch value
+  EXPECT_EQ(mem.peek(2), 99);
+}
+
+TEST(BankMemory, TrafficCountsDistinctAddressesPerBank) {
+  BankMemory mem(MemoryGeometry(4), 16);
+  (void)mem.service(make_batch({
+      {.lane = 0, .kind = AccessKind::kRead, .address = 0, .value = 0},
+      {.lane = 1, .kind = AccessKind::kRead, .address = 0, .value = 0},
+      {.lane = 2, .kind = AccessKind::kRead, .address = 4, .value = 0},
+      {.lane = 3, .kind = AccessKind::kRead, .address = 5, .value = 0},
+  }));
+  EXPECT_EQ(mem.bank_traffic(), (std::vector<std::int64_t>{2, 1, 0, 0}));
+  mem.reset_traffic();
+  EXPECT_EQ(mem.bank_traffic(), (std::vector<std::int64_t>{0, 0, 0, 0}));
+}
+
+TEST(BankMemory, BoundsAreEnforced) {
+  BankMemory mem(MemoryGeometry(4), 8);
+  EXPECT_THROW(mem.peek(8), PreconditionError);
+  EXPECT_THROW(mem.poke(-1, 0), PreconditionError);
+  EXPECT_THROW((void)mem.service(make_batch({{.lane = 0,
+                                              .kind = AccessKind::kRead,
+                                              .address = 8,
+                                              .value = 0}})),
+               PreconditionError);
+  EXPECT_THROW(mem.dump(4, 5), PreconditionError);
+}
+
+TEST(BankMemory, LoadAndDumpRoundTrip) {
+  BankMemory mem(MemoryGeometry(4), 8);
+  const std::vector<Word> data{1, 2, 3};
+  mem.load(2, data);
+  EXPECT_EQ(mem.dump(2, 3), data);
+  EXPECT_EQ(mem.peek(0), 0);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,86 @@
+// Unit tests for the PRAM baseline (§V).
+#include <gtest/gtest.h>
+
+#include "machine/pram.hpp"
+
+namespace hmm {
+namespace {
+
+TEST(Pram, StepChargesBrentCost) {
+  Pram pram(/*processors=*/4, /*memory=*/64);
+  pram.parallel_step(4, [](std::int64_t, PramAccess&) {});
+  EXPECT_EQ(pram.time(), 1);
+  pram.parallel_step(9, [](std::int64_t, PramAccess&) {});  // ceil(9/4) = 3
+  EXPECT_EQ(pram.time(), 4);
+  pram.parallel_step(0, [](std::int64_t, PramAccess&) {});  // still 1 unit
+  EXPECT_EQ(pram.time(), 5);
+}
+
+TEST(Pram, WritesOfOneRoundAreSynchronous) {
+  // Classic swap test: a[i] <- a[i^1] must not see partner's new value
+  // even when both items run in one round.  (The swap reads a cell the
+  // partner writes, so it is CREW — run it in kCrcw mode.)
+  Pram pram(8, 8, Pram::Mode::kCrcw);
+  pram.poke(0, 10);
+  pram.poke(1, 20);
+  pram.parallel_step(2, [](std::int64_t i, PramAccess& a) {
+    a.write(i, a.read(i ^ 1));
+  });
+  EXPECT_EQ(pram.peek(0), 20);
+  EXPECT_EQ(pram.peek(1), 10);
+}
+
+TEST(Pram, RoundsOfOneStepAreSequential) {
+  // With p = 1, item 1 runs in the round after item 0 and must see item
+  // 0's write (Brent serialisation).
+  Pram pram(1, 8);
+  pram.poke(0, 5);
+  pram.parallel_step(2, [](std::int64_t i, PramAccess& a) {
+    if (i == 0) a.write(1, a.read(0) + 1);
+    else a.write(2, a.read(1) * 10);
+  });
+  EXPECT_EQ(pram.peek(2), 60);
+}
+
+TEST(Pram, ErewDetectsConcurrentReads) {
+  Pram pram(4, 8, Pram::Mode::kErew);
+  EXPECT_THROW(pram.parallel_step(
+                   2, [](std::int64_t, PramAccess& a) { (void)a.read(0); }),
+               PreconditionError);
+}
+
+TEST(Pram, ErewDetectsConcurrentWrites) {
+  Pram pram(4, 8, Pram::Mode::kErew);
+  EXPECT_THROW(pram.parallel_step(
+                   2, [](std::int64_t i, PramAccess& a) { a.write(3, i); }),
+               PreconditionError);
+}
+
+TEST(Pram, ErewAllowsOneItemRereadingItsOwnCell) {
+  Pram pram(4, 8, Pram::Mode::kErew);
+  pram.poke(2, 1);
+  pram.parallel_step(4, [](std::int64_t i, PramAccess& a) {
+    a.write(i, a.read(i) + 1);  // read + write of own cell: legal
+  });
+  EXPECT_EQ(pram.peek(2), 2);
+}
+
+TEST(Pram, CrcwWriteWinnerIsDeterministic) {
+  Pram pram(4, 8, Pram::Mode::kCrcw);
+  pram.parallel_step(4, [](std::int64_t i, PramAccess& a) { a.write(0, i); });
+  EXPECT_EQ(pram.peek(0), 3);  // last item of the round wins
+}
+
+TEST(Pram, BoundsAndArgsChecked) {
+  EXPECT_THROW(Pram(0, 8), PreconditionError);
+  EXPECT_THROW(Pram(1, -1), PreconditionError);
+  Pram pram(2, 4);
+  EXPECT_THROW(pram.parallel_step(-1, [](std::int64_t, PramAccess&) {}),
+               PreconditionError);
+  EXPECT_THROW(
+      pram.parallel_step(1, [](std::int64_t, PramAccess& a) { a.write(9, 0); }),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmm

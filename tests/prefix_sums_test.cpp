@@ -1,0 +1,156 @@
+// Correctness and timing-shape tests for the prefix-sums extension
+// (the paper's companion result [17]).
+#include <gtest/gtest.h>
+
+#include "alg/prefix_sums.hpp"
+#include "alg/workload.hpp"
+#include "analysis/cost_model.hpp"
+
+namespace hmm {
+namespace {
+
+std::vector<Word> oracle(const std::vector<Word>& xs) {
+  std::vector<Word> out;
+  out.reserve(xs.size());
+  Word acc = 0;
+  for (Word x : xs) out.push_back(acc += x);
+  return out;
+}
+
+TEST(ScanSequential, MatchesOracle) {
+  const auto xs = alg::random_words(1000, 1);
+  const auto r = alg::prefix_sums_sequential(xs);
+  EXPECT_EQ(r.prefix, oracle(xs));
+  EXPECT_EQ(r.time, 3 * 1000);  // read + add + write per element
+}
+
+TEST(ScanPram, MatchesOracleAcrossShapes) {
+  for (std::int64_t n : {1, 2, 3, 17, 64, 1000, 1024}) {
+    for (std::int64_t p : {1, 3, 32, 2048}) {
+      const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n + p));
+      const auto r = alg::prefix_sums_pram(xs, p);
+      EXPECT_EQ(r.prefix, oracle(xs)) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(ScanPram, TimeIsNearOptimal) {
+  const std::int64_t n = 1 << 16;
+  const auto xs = alg::random_words(n, 9);
+  for (std::int64_t p : {64, 1024}) {
+    const auto r = alg::prefix_sums_pram(xs, p);
+    const double predicted = analysis::sum_pram_time(n, p);  // same Θ-form
+    const double ratio = static_cast<double>(r.time) / predicted;
+    EXPECT_GT(ratio, 0.3) << "p=" << p;
+    EXPECT_LT(ratio, 8.0) << "p=" << p;
+  }
+}
+
+TEST(ScanScratch, SizesAreTight) {
+  EXPECT_EQ(alg::prefix_sums_scratch_size(1), 0);
+  EXPECT_EQ(alg::prefix_sums_scratch_size(2), 1);
+  EXPECT_EQ(alg::prefix_sums_scratch_size(8), 4 + 2 + 1);
+  EXPECT_EQ(alg::prefix_sums_scratch_size(7), 4 + 2 + 1);
+  EXPECT_THROW(alg::prefix_sums_scratch_size(0), PreconditionError);
+}
+
+struct ScanMmCase {
+  std::int64_t n, p, w, l;
+};
+
+class ScanMmTest : public ::testing::TestWithParam<ScanMmCase> {};
+
+TEST_P(ScanMmTest, DmmMatchesOracle) {
+  const auto [n, p, w, l] = GetParam();
+  const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n * 2 + 1));
+  EXPECT_EQ(alg::prefix_sums_dmm(xs, p, w, l).prefix, oracle(xs));
+}
+
+TEST_P(ScanMmTest, UmmMatchesOracle) {
+  const auto [n, p, w, l] = GetParam();
+  const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n * 2 + 3));
+  EXPECT_EQ(alg::prefix_sums_umm(xs, p, w, l).prefix, oracle(xs));
+}
+
+TEST_P(ScanMmTest, UmmTimeTracksTheBound) {
+  const auto [n, p, w, l] = GetParam();
+  if (n < 2) GTEST_SKIP() << "degenerate";
+  const auto xs = alg::iota_words(n);
+  const auto r = alg::prefix_sums_umm(xs, p, w, l);
+  // [17]'s bound has the same Θ-form as Lemma 5.
+  const double predicted = analysis::sum_mm_time(n, p, w, l);
+  const double ratio = static_cast<double>(r.report.makespan) / predicted;
+  EXPECT_GT(ratio, 0.2) << "n=" << n << " p=" << p << " l=" << l;
+  EXPECT_LT(ratio, 16.0) << "n=" << n << " p=" << p << " l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScanMmTest,
+    ::testing::Values(ScanMmCase{1, 4, 4, 2},         //
+                      ScanMmCase{2, 4, 4, 2},         //
+                      ScanMmCase{37, 8, 4, 2},        // ragged
+                      ScanMmCase{256, 32, 8, 1},      //
+                      ScanMmCase{1024, 256, 32, 8},   //
+                      ScanMmCase{4096, 64, 32, 64},   // latency-bound
+                      ScanMmCase{10000, 128, 16, 4},  // non-pow2
+                      ScanMmCase{1 << 14, 1024, 32, 32}));
+
+struct ScanHmmCase {
+  std::int64_t n, d, pd, w, l;
+};
+
+class ScanHmmTest : public ::testing::TestWithParam<ScanHmmCase> {};
+
+TEST_P(ScanHmmTest, MatchesOracle) {
+  const auto [n, d, pd, w, l] = GetParam();
+  const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n + 5 * d));
+  EXPECT_EQ(alg::prefix_sums_hmm(xs, d, pd, w, l).prefix, oracle(xs));
+}
+
+TEST_P(ScanHmmTest, TimeTracksTheTheorem7Analogue) {
+  const auto [n, d, pd, w, l] = GetParam();
+  if (n < 2) GTEST_SKIP() << "degenerate";
+  const auto xs = alg::iota_words(n);
+  const auto r = alg::prefix_sums_hmm(xs, d, pd, w, l);
+  const double predicted = analysis::sum_hmm_time(n, d * pd, w, l, d);
+  const double ratio = static_cast<double>(r.report.makespan) / predicted;
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScanHmmTest,
+    ::testing::Values(ScanHmmCase{4, 2, 4, 4, 2},       // tiny
+                      ScanHmmCase{100, 2, 8, 4, 4},     // ragged slices
+                      ScanHmmCase{1024, 4, 64, 32, 16}, //
+                      ScanHmmCase{4096, 16, 96, 32, 64},
+                      ScanHmmCase{777 * 3, 3, 12, 4, 8},
+                      ScanHmmCase{1 << 12, 1, 32, 32, 32}));  // d = 1
+
+TEST(ScanHmm, RejectsIndivisibleN) {
+  const auto xs = alg::iota_words(10);
+  EXPECT_THROW(alg::prefix_sums_hmm(xs, 3, 8, 4, 4), PreconditionError);
+}
+
+TEST(ScanHmm, BeatsTheUmmAtHighLatency) {
+  // Same crossover as the sum: the HMM hides the per-level latency of
+  // the scan tree inside shared memory.
+  const std::int64_t n = 1 << 14, w = 32, l = 512, d = 8, pd = 128;
+  const auto xs = alg::random_words(n, 99);
+  const auto umm = alg::prefix_sums_umm(xs, d * pd, w, l);
+  const auto hmm = alg::prefix_sums_hmm(xs, d, pd, w, l);
+  EXPECT_EQ(umm.prefix, hmm.prefix);
+  EXPECT_GT(umm.report.makespan, hmm.report.makespan);
+}
+
+TEST(ScanConsistency, PrefixOfSumsEqualsSumOfAll) {
+  // Property: the last inclusive prefix equals the total sum.
+  const auto xs = alg::random_words(4096, 123);
+  Word total = 0;
+  for (Word x : xs) total += x;
+  EXPECT_EQ(alg::prefix_sums_umm(xs, 256, 32, 16).prefix.back(), total);
+  EXPECT_EQ(alg::prefix_sums_hmm(xs, 4, 64, 32, 16).prefix.back(), total);
+}
+
+}  // namespace
+}  // namespace hmm

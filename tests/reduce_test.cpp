@@ -1,0 +1,68 @@
+// Tests for generic monoid reductions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "alg/reduce.hpp"
+#include "alg/workload.hpp"
+
+namespace hmm {
+namespace {
+
+struct ReduceCase {
+  std::int64_t n, p, w, l;
+};
+
+class ReduceTest : public ::testing::TestWithParam<ReduceCase> {};
+
+TEST_P(ReduceTest, AllOpsMatchOraclesOnUmm) {
+  const auto [n, p, w, l] = GetParam();
+  const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n + p));
+  EXPECT_EQ(alg::reduce_umm(xs, alg::ReduceOp::kSum, p, w, l).value,
+            std::accumulate(xs.begin(), xs.end(), Word{0}));
+  EXPECT_EQ(alg::reduce_umm(xs, alg::ReduceOp::kMin, p, w, l).value,
+            *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(alg::reduce_umm(xs, alg::ReduceOp::kMax, p, w, l).value,
+            *std::max_element(xs.begin(), xs.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ReduceTest,
+                         ::testing::Values(ReduceCase{1, 4, 4, 2},
+                                           ReduceCase{37, 8, 4, 2},
+                                           ReduceCase{1024, 128, 32, 16},
+                                           ReduceCase{5000, 256, 32, 64}));
+
+TEST(ReduceHmm, AllOpsMatchOracles) {
+  const auto xs = alg::random_words(4096, 3);
+  for (auto op : {alg::ReduceOp::kSum, alg::ReduceOp::kMin,
+                  alg::ReduceOp::kMax}) {
+    Word want = alg::reduce_identity(op);
+    for (Word x : xs) want = alg::apply_reduce_op(op, want, x);
+    EXPECT_EQ(alg::reduce_hmm(xs, op, 8, 64, 32, 100).value, want);
+  }
+}
+
+TEST(ReduceHmm, MoreThreadsThanElements) {
+  // The "recursive removal of n >= p" clause of Theorem 7, implicitly:
+  // surplus threads contribute the identity and the result is exact.
+  const auto xs = alg::random_words(10, 4);
+  EXPECT_EQ(alg::reduce_hmm(xs, alg::ReduceOp::kMin, 4, 64, 32, 10).value,
+            *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(alg::reduce_umm(xs, alg::ReduceOp::kMax, 512, 32, 10).value,
+            *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(ReduceOps, IdentityLaws) {
+  for (auto op : {alg::ReduceOp::kSum, alg::ReduceOp::kMin,
+                  alg::ReduceOp::kMax}) {
+    const Word id = alg::reduce_identity(op);
+    for (Word x : {Word{-5}, Word{0}, Word{123456789}}) {
+      EXPECT_EQ(alg::apply_reduce_op(op, id, x), x);
+      EXPECT_EQ(alg::apply_reduce_op(op, x, id), x);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmm

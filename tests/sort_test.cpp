@@ -1,0 +1,89 @@
+// Tests for bitonic sort on the models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alg/sort.hpp"
+#include "alg/workload.hpp"
+
+namespace hmm {
+namespace {
+
+std::vector<Word> oracle(std::vector<Word> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+TEST(SortUmm, MatchesStdSortAcrossShapes) {
+  for (std::int64_t n : {1, 2, 8, 64, 1024}) {
+    for (std::int64_t p : {4, 32, 256}) {
+      const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n + p));
+      EXPECT_EQ(alg::sort_umm(xs, p, 8, 4).sorted, oracle(xs))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(SortDmm, MatchesStdSort) {
+  const auto xs = alg::random_words(512, 3);
+  EXPECT_EQ(alg::sort_dmm(xs, 64, 16, 2).sorted, oracle(xs));
+}
+
+TEST(SortUmm, HandlesDuplicatesAndPresorted) {
+  std::vector<Word> dups(256, 7);
+  EXPECT_EQ(alg::sort_umm(dups, 32, 8, 2).sorted, dups);
+  const auto asc = alg::iota_words(128);
+  EXPECT_EQ(alg::sort_umm(asc, 32, 8, 2).sorted, asc);
+  std::vector<Word> desc(asc.rbegin(), asc.rend());
+  EXPECT_EQ(alg::sort_umm(desc, 32, 8, 2).sorted, asc);
+}
+
+TEST(SortUmm, RejectsNonPowerOfTwo) {
+  const auto xs = alg::random_words(100, 1);
+  EXPECT_THROW(alg::sort_umm(xs, 32, 8, 2), PreconditionError);
+}
+
+struct SortHmmCase {
+  std::int64_t n, d, pd, w, l;
+};
+
+class SortHmmTest : public ::testing::TestWithParam<SortHmmCase> {};
+
+TEST_P(SortHmmTest, MatchesStdSort) {
+  const auto [n, d, pd, w, l] = GetParam();
+  const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n * d));
+  EXPECT_EQ(alg::sort_hmm(xs, d, pd, w, l).sorted, oracle(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SortHmmTest,
+    ::testing::Values(SortHmmCase{8, 1, 4, 4, 4},       // d = 1 (pure local)
+                      SortHmmCase{64, 2, 8, 4, 8},      //
+                      SortHmmCase{256, 4, 16, 8, 16},   //
+                      SortHmmCase{1024, 8, 64, 32, 64}, //
+                      SortHmmCase{64, 64, 4, 4, 8},     // c = 1 (pure global)
+                      SortHmmCase{4096, 16, 128, 32, 256}));
+
+TEST(SortHmm, RejectsBadShapes) {
+  const auto xs = alg::random_words(64, 1);
+  EXPECT_THROW(alg::sort_hmm(xs, 3, 8, 4, 4), PreconditionError);  // d not 2^k
+  const auto odd = alg::random_words(96, 1);
+  EXPECT_THROW(alg::sort_hmm(odd, 2, 8, 4, 4), PreconditionError);
+}
+
+TEST(SortHmm, LocalStagesAvoidTheGlobalPipeline) {
+  // The hybrid's point: with d blocks, only the O(log^2 d) cross-block
+  // stages touch global memory.  Count global batches vs a pure-UMM
+  // sort at identical n, p, w, l.
+  const std::int64_t n = 2048, w = 16, l = 128, d = 8, pd = 64;
+  const auto xs = alg::random_words(n, 9);
+  const auto flat = alg::sort_umm(xs, d * pd, w, l);
+  const auto hybrid = alg::sort_hmm(xs, d, pd, w, l);
+  EXPECT_EQ(flat.sorted, hybrid.sorted);
+  EXPECT_LT(hybrid.report.global_pipeline.stages,
+            flat.report.global_pipeline.stages / 2);
+  EXPECT_LT(hybrid.report.makespan, flat.report.makespan);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,125 @@
+// Tests for CSR sparse matrix-vector multiplication on the models.
+#include <gtest/gtest.h>
+
+#include "alg/spmv.hpp"
+#include "alg/workload.hpp"
+
+namespace hmm {
+namespace {
+
+std::vector<Word> oracle(const alg::CsrMatrix& a, const std::vector<Word>& x) {
+  std::vector<Word> y(static_cast<std::size_t>(a.rows), 0);
+  for (std::int64_t r = 0; r < a.rows; ++r) {
+    for (std::int64_t k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      y[static_cast<std::size_t>(r)] +=
+          a.values[static_cast<std::size_t>(k)] *
+          x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
+    }
+  }
+  return y;
+}
+
+TEST(BandMatrix, ShapeIsAsRequested) {
+  const auto a = alg::make_band_matrix(64, 5, 8, 1);
+  EXPECT_EQ(a.rows, 64);
+  EXPECT_EQ(a.row_ptr.size(), 65u);
+  for (std::int64_t r = 1; r < 63; ++r) {
+    // Interior rows have exactly 5 entries, inside the band.
+    EXPECT_EQ(a.row_ptr[static_cast<std::size_t>(r) + 1] -
+                  a.row_ptr[static_cast<std::size_t>(r)],
+              5);
+    for (std::int64_t k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const std::int64_t c = a.col_idx[static_cast<std::size_t>(k)];
+      EXPECT_GE(c, r - 8);
+      EXPECT_LE(c, r + 8);
+    }
+  }
+  // Deterministic.
+  const auto b = alg::make_band_matrix(64, 5, 8, 1);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_THROW(alg::make_band_matrix(8, 10, 2, 1), PreconditionError);
+}
+
+TEST(SpmvSequential, MatchesOracle) {
+  const auto a = alg::make_band_matrix(100, 7, 10, 2);
+  const auto x = alg::random_words(100, 3);
+  const auto r = alg::spmv_sequential(a, x);
+  EXPECT_EQ(r.y, oracle(a, x));
+  EXPECT_GT(r.time, a.nnz());  // Θ(nnz)
+}
+
+TEST(SpmvUmm, ScalarAndVectorMatchOracle) {
+  for (std::int64_t rows : {32, 128}) {
+    for (std::int64_t row_nnz : {1, 4, 24}) {
+      const auto a = alg::make_band_matrix(
+          rows, row_nnz, std::max<std::int64_t>(row_nnz, 16),
+          static_cast<std::uint64_t>(rows + row_nnz));
+      const auto x = alg::random_words(rows, 4);
+      const auto want = oracle(a, x);
+      EXPECT_EQ(alg::spmv_umm_scalar(a, x, 64, 8, 8).y, want)
+          << rows << "x" << row_nnz;
+      EXPECT_EQ(alg::spmv_umm_vector(a, x, 64, 8, 8).y, want)
+          << rows << "x" << row_nnz;
+    }
+  }
+}
+
+TEST(SpmvHmm, MatchesOracleAcrossShapes) {
+  for (std::int64_t d : {1, 2, 4}) {
+    const auto a = alg::make_band_matrix(128, 6, 12, 5);
+    const auto x = alg::random_words(128, 6);
+    EXPECT_EQ(alg::spmv_hmm(a, x, d, 32, 8, 64).y, oracle(a, x)) << "d=" << d;
+  }
+}
+
+TEST(SpmvModel, VectorBeatsScalarOnLongRows) {
+  // The CSR folklore, reproduced by the model: long rows favour the
+  // warp-per-row kernel (coalesced value streams)...
+  const std::int64_t rows = 256, w = 32;
+  const auto long_rows = alg::make_band_matrix(rows, 96, 128, 7);
+  const auto x = alg::random_words(rows, 8);
+  const auto scalar = alg::spmv_umm_scalar(long_rows, x, 256, w, 64);
+  const auto vector = alg::spmv_umm_vector(long_rows, x, 256, w, 64);
+  EXPECT_EQ(scalar.y, vector.y);
+  EXPECT_LT(vector.report.makespan, scalar.report.makespan);
+}
+
+TEST(SpmvModel, ScalarWinsOnVeryShortRows) {
+  // ... and one-entry rows waste w-1 lanes of every vector warp.
+  const std::int64_t rows = 1024, w = 32;
+  const auto short_rows = alg::make_band_matrix(rows, 1, 4, 9);
+  const auto x = alg::random_words(rows, 10);
+  const auto scalar = alg::spmv_umm_scalar(short_rows, x, 256, w, 64);
+  const auto vector = alg::spmv_umm_vector(short_rows, x, 256, w, 64);
+  EXPECT_EQ(scalar.y, vector.y);
+  EXPECT_LT(scalar.report.makespan, vector.report.makespan);
+}
+
+TEST(SpmvHmm, StagedGatherBeatsGlobalGather) {
+  const std::int64_t rows = 512, w = 32, l = 300, d = 8, pd = 64;
+  const auto a = alg::make_band_matrix(rows, 16, 32, 11);
+  const auto x = alg::random_words(rows, 12);
+  const auto flat = alg::spmv_umm_vector(a, x, d * pd, w, l);
+  const auto staged = alg::spmv_hmm(a, x, d, pd, w, l);
+  EXPECT_EQ(flat.y, staged.y);
+  EXPECT_LT(staged.report.makespan, flat.report.makespan);
+}
+
+TEST(Spmv, MalformedCsrIsRejected) {
+  alg::CsrMatrix bad;
+  bad.rows = bad.cols = 2;
+  bad.row_ptr = {0, 1};  // wrong length
+  bad.col_idx = {0};
+  bad.values = {1};
+  const std::vector<Word> x{1, 2};
+  EXPECT_THROW(alg::spmv_sequential(bad, x), PreconditionError);
+  bad.row_ptr = {0, 1, 1};
+  bad.col_idx = {5};  // column out of range
+  EXPECT_THROW(alg::spmv_sequential(bad, x), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmm

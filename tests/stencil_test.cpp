@@ -1,0 +1,95 @@
+// Tests for the Jacobi stencil on the models.
+#include <gtest/gtest.h>
+
+#include "alg/stencil.hpp"
+#include "alg/workload.hpp"
+
+namespace hmm {
+namespace {
+
+std::vector<Word> oracle(std::vector<Word> u, std::int64_t sweeps) {
+  const auto n = static_cast<std::int64_t>(u.size());
+  std::vector<Word> v = u;
+  for (std::int64_t s = 0; s < sweeps; ++s) {
+    for (std::int64_t i = 1; i < n - 1; ++i) {
+      v[static_cast<std::size_t>(i)] =
+          (u[static_cast<std::size_t>(i - 1)] +
+           2 * u[static_cast<std::size_t>(i)] +
+           u[static_cast<std::size_t>(i + 1)]) /
+          4;
+    }
+    u = v;
+  }
+  return u;
+}
+
+TEST(StencilSequential, MatchesOracle) {
+  const auto u0 = alg::random_words(100, 1, 0, 1000);
+  const auto r = alg::stencil_sequential(u0, 7);
+  EXPECT_EQ(r.u, oracle(u0, 7));
+  EXPECT_GT(r.time, 7 * 98 * 4);  // 4 ops per interior cell per sweep
+}
+
+TEST(StencilUmm, MatchesOracleAcrossShapes) {
+  for (std::int64_t n : {3, 17, 128}) {
+    for (std::int64_t sweeps : {0, 1, 5}) {
+      const auto u0 = alg::random_words(n, static_cast<std::uint64_t>(n), 0,
+                                        1000);
+      EXPECT_EQ(alg::stencil_umm(u0, sweeps, 32, 8, 4).u, oracle(u0, sweeps))
+          << "n=" << n << " sweeps=" << sweeps;
+    }
+  }
+}
+
+TEST(StencilHmm, MatchesOracleAcrossShapes) {
+  for (std::int64_t d : {1, 2, 4, 8}) {
+    for (std::int64_t sweeps : {0, 1, 3, 8}) {
+      const auto u0 = alg::random_words(64, static_cast<std::uint64_t>(d + 1),
+                                        0, 1000);
+      EXPECT_EQ(alg::stencil_hmm(u0, sweeps, d, 8, 4, 32).u,
+                oracle(u0, sweeps))
+          << "d=" << d << " sweeps=" << sweeps;
+    }
+  }
+}
+
+TEST(StencilHmm, SingleThreadPerDmmStillCorrect) {
+  const auto u0 = alg::random_words(32, 9, 0, 100);
+  EXPECT_EQ(alg::stencil_hmm(u0, 4, 4, 1, 4, 16).u, oracle(u0, 4));
+}
+
+TEST(StencilHmm, GlobalTrafficPerSweepIsTheta_d_NotTheta_n) {
+  const std::int64_t n = 4096, d = 8, sweeps = 16, w = 32, l = 200;
+  const auto u0 = alg::random_words(n, 11, 0, 1000);
+  const auto flat = alg::stencil_umm(u0, sweeps, d * 64, w, l);
+  const auto staged = alg::stencil_hmm(u0, sweeps, d, 64, w, l);
+  EXPECT_EQ(flat.u, staged.u);
+  // Flat: ~4n words per sweep; staged: ~4d words per sweep + 2n staging.
+  EXPECT_GT(flat.report.global_pipeline.requests,
+            sweeps * 3 * (n - 2));
+  EXPECT_LT(staged.report.global_pipeline.requests,
+            2 * n + sweeps * 8 * d);
+  EXPECT_LT(staged.report.makespan, flat.report.makespan);
+}
+
+TEST(Stencil, BoundariesStayFixed) {
+  std::vector<Word> u0(64, 0);
+  u0.front() = 1000;
+  u0.back() = -500;
+  const auto r = alg::stencil_hmm(u0, 10, 4, 8, 8, 16);
+  EXPECT_EQ(r.u.front(), 1000);
+  EXPECT_EQ(r.u.back(), -500);
+  // Heat diffuses inward from the hot boundary.
+  EXPECT_GT(r.u[1], 0);
+}
+
+TEST(Stencil, RejectsBadShapes) {
+  const auto u0 = alg::random_words(2, 1);
+  EXPECT_THROW(alg::stencil_sequential(u0, 1), PreconditionError);
+  const auto u1 = alg::random_words(10, 1);
+  EXPECT_THROW(alg::stencil_hmm(u1, 1, 3, 4, 4, 4), PreconditionError);
+  EXPECT_THROW(alg::stencil_hmm(u1, 1, 10, 4, 4, 4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,145 @@
+// Tests for the approximate string matching extension ([18]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string_view>
+
+#include "alg/string_match.hpp"
+#include "alg/workload.hpp"
+#include "core/rng.hpp"
+
+namespace hmm {
+namespace {
+
+std::vector<Word> to_words(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+/// Reference semi-global DP, independently coded.
+std::vector<Word> oracle(const std::vector<Word>& p,
+                         const std::vector<Word>& t) {
+  const auto m = static_cast<std::int64_t>(p.size());
+  const auto n = static_cast<std::int64_t>(t.size());
+  std::vector<std::vector<Word>> D(static_cast<std::size_t>(m) + 1,
+                                   std::vector<Word>(static_cast<std::size_t>(n) + 1, 0));
+  for (std::int64_t i = 1; i <= m; ++i) D[static_cast<std::size_t>(i)][0] = i;
+  for (std::int64_t i = 1; i <= m; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      const Word sub =
+          D[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(j - 1)] +
+          (p[static_cast<std::size_t>(i - 1)] != t[static_cast<std::size_t>(j - 1)]
+               ? 1
+               : 0);
+      D[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = std::min(
+          {sub,
+           D[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(j)] + 1,
+           D[static_cast<std::size_t>(i)][static_cast<std::size_t>(j - 1)] + 1});
+    }
+  }
+  return {D[static_cast<std::size_t>(m)].begin() + 1,
+          D[static_cast<std::size_t>(m)].end()};
+}
+
+TEST(StringMatchSequential, FindsExactAndFuzzyOccurrences) {
+  const auto p = to_words("needle");
+  const auto t = to_words("haystack-needle-haystack-neXdle-end");
+  const auto r = alg::string_match_sequential(p, t);
+  EXPECT_EQ(r.distance, oracle(p, t));
+  // Exact hit: distance 0 right after "...needle".
+  EXPECT_EQ(r.distance[14], 0);
+  // One-substitution hit at "neXdle".
+  EXPECT_EQ(r.distance[30], 1);
+  // Cost is Θ(mn).
+  EXPECT_GT(r.time, static_cast<Cycle>(p.size() * t.size()));
+}
+
+TEST(StringMatchUmm, MatchesOracleAcrossShapes) {
+  Rng rng(3);
+  for (const auto& [m, n, p, w, l] :
+       std::vector<std::array<std::int64_t, 5>>{{1, 16, 8, 4, 2},
+                                                {3, 50, 16, 4, 4},
+                                                {8, 64, 32, 8, 8},
+                                                {5, 33, 7, 4, 3}}) {
+    std::vector<Word> pat, txt;
+    for (std::int64_t i = 0; i < m; ++i)
+      pat.push_back(static_cast<Word>(rng.next_below(4)));
+    for (std::int64_t i = 0; i < n; ++i)
+      txt.push_back(static_cast<Word>(rng.next_below(4)));
+    const auto r = alg::string_match_umm(pat, txt, p, w, l);
+    EXPECT_EQ(r.distance, oracle(pat, txt))
+        << "m=" << m << " n=" << n << " p=" << p;
+  }
+}
+
+TEST(StringMatchHmm, MatchesOracleAcrossShapes) {
+  Rng rng(4);
+  for (const auto& [m, n, d, pd, w, l] :
+       std::vector<std::array<std::int64_t, 6>>{{1, 16, 2, 4, 4, 4},
+                                                {4, 64, 4, 8, 4, 16},
+                                                {8, 96, 3, 16, 8, 32},
+                                                {6, 60, 5, 8, 4, 8},
+                                                {8, 64, 1, 16, 8, 8}}) {
+    std::vector<Word> pat, txt;
+    for (std::int64_t i = 0; i < m; ++i)
+      pat.push_back(static_cast<Word>(rng.next_below(3)));
+    for (std::int64_t i = 0; i < n; ++i)
+      txt.push_back(static_cast<Word>(rng.next_below(3)));
+    const auto r = alg::string_match_hmm(pat, txt, d, pd, w, l);
+    EXPECT_EQ(r.distance, oracle(pat, txt))
+        << "m=" << m << " n=" << n << " d=" << d;
+  }
+}
+
+TEST(StringMatchHmm, HaloMakesSlicingExactAtSliceBoundaries) {
+  // Adversarial: an exact pattern occurrence straddling a slice boundary
+  // must still be found (this is what the 2m halo is for).
+  const auto pat = to_words("abcdef");
+  std::vector<Word> txt(64, 'x');
+  // d = 4 => slice boundary at 16; plant the match at positions 13..18.
+  for (std::int64_t k = 0; k < 6; ++k) {
+    txt[static_cast<std::size_t>(13 + k)] = pat[static_cast<std::size_t>(k)];
+  }
+  const auto r = alg::string_match_hmm(pat, txt, 4, 8, 4, 8);
+  EXPECT_EQ(r.distance, oracle(pat, txt));
+  EXPECT_EQ(r.distance[18], 0);  // the straddling exact hit
+}
+
+TEST(StringMatch, AllModelsAgree) {
+  Rng rng(5);
+  std::vector<Word> pat, txt;
+  for (int i = 0; i < 8; ++i) pat.push_back(static_cast<Word>(rng.next_below(4)));
+  for (int i = 0; i < 128; ++i) txt.push_back(static_cast<Word>(rng.next_below(4)));
+  const auto seq = alg::string_match_sequential(pat, txt);
+  const auto umm = alg::string_match_umm(pat, txt, 64, 8, 16);
+  const auto hmm = alg::string_match_hmm(pat, txt, 4, 16, 8, 16);
+  EXPECT_EQ(seq.distance, umm.distance);
+  EXPECT_EQ(seq.distance, hmm.distance);
+}
+
+TEST(StringMatchHmm, BeatsTheUmmAtGpuLatency) {
+  // The point of [18] on the HMM: the (n+m) wavefront steps stop paying
+  // the global latency once the band lives in shared memory.
+  Rng rng(6);
+  std::vector<Word> pat, txt;
+  for (int i = 0; i < 16; ++i) pat.push_back(static_cast<Word>(rng.next_below(4)));
+  for (int i = 0; i < 2048; ++i) txt.push_back(static_cast<Word>(rng.next_below(4)));
+  const std::int64_t w = 32, l = 200, d = 8, pd = 64;
+  const auto umm = alg::string_match_umm(pat, txt, d * pd, w, l);
+  const auto hmm = alg::string_match_hmm(pat, txt, d, pd, w, l);
+  EXPECT_EQ(umm.distance, hmm.distance);
+  EXPECT_GT(umm.report.makespan, 4 * hmm.report.makespan);
+}
+
+TEST(StringMatch, RejectsBadShapes) {
+  const auto p = to_words("long-pattern");
+  const auto t = to_words("short");
+  EXPECT_THROW(alg::string_match_sequential(p, t), PreconditionError);
+  EXPECT_THROW(alg::string_match_sequential({}, t), PreconditionError);
+  const auto ok_p = to_words("ab");
+  const auto ok_t = to_words("abcabcabc");  // n = 9, not divisible by d = 2
+  EXPECT_THROW(alg::string_match_hmm(ok_p, ok_t, 2, 8, 4, 4),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,165 @@
+// Correctness and timing-shape tests for the sum on every model
+// (§V–§VII: Lemmas 3, 5, 6 and Theorem 7).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alg/sum.hpp"
+#include "alg/workload.hpp"
+#include "analysis/cost_model.hpp"
+
+namespace hmm {
+namespace {
+
+Word oracle(const std::vector<Word>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), Word{0});
+}
+
+TEST(SumSequential, MatchesOracleAndCostsN) {
+  const auto xs = alg::random_words(1000, /*seed=*/1);
+  const auto r = alg::sum_sequential(xs);
+  EXPECT_EQ(r.sum, oracle(xs));
+  EXPECT_EQ(r.time, 2 * 1000);  // one read + one add per element
+}
+
+TEST(SumPram, MatchesOracleAcrossSizes) {
+  for (std::int64_t n : {1, 2, 3, 5, 16, 31, 100, 1024, 1000}) {
+    for (std::int64_t p : {1, 4, 32, 256}) {
+      const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n));
+      const auto r = alg::sum_pram(xs, p);
+      EXPECT_EQ(r.sum, oracle(xs)) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(SumPram, TimeTracksLemma3) {
+  // measured / (n/p + log n) must stay within a constant band.
+  for (std::int64_t n : {1 << 10, 1 << 12, 1 << 14}) {
+    for (std::int64_t p : {8, 64, 512}) {
+      const auto xs = alg::iota_words(n);
+      const auto r = alg::sum_pram(xs, p);
+      const double predicted = analysis::sum_pram_time(n, p);
+      const double ratio = static_cast<double>(r.time) / predicted;
+      EXPECT_GT(ratio, 0.3) << "n=" << n << " p=" << p;
+      EXPECT_LT(ratio, 6.0) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+struct MmCase {
+  std::int64_t n, p, w, l;
+};
+
+class SumMmTest : public ::testing::TestWithParam<MmCase> {};
+
+TEST_P(SumMmTest, DmmMatchesOracle) {
+  const auto [n, p, w, l] = GetParam();
+  const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n * 7 + 1));
+  const auto r = alg::sum_dmm(xs, p, w, l);
+  EXPECT_EQ(r.sum, oracle(xs));
+}
+
+TEST_P(SumMmTest, UmmMatchesOracle) {
+  const auto [n, p, w, l] = GetParam();
+  const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n * 9 + 5));
+  const auto r = alg::sum_umm(xs, p, w, l);
+  EXPECT_EQ(r.sum, oracle(xs));
+}
+
+TEST_P(SumMmTest, UmmTimeTracksLemma5) {
+  const auto [n, p, w, l] = GetParam();
+  if (n < 2) GTEST_SKIP() << "n = 1 needs no work; the ratio is undefined";
+  const auto xs = alg::iota_words(n);
+  const auto r = alg::sum_umm(xs, p, w, l);
+  const double predicted = analysis::sum_mm_time(n, p, w, l);
+  const double ratio = static_cast<double>(r.report.makespan) / predicted;
+  EXPECT_GT(ratio, 0.2) << "n=" << n << " p=" << p << " w=" << w
+                        << " l=" << l;
+  EXPECT_LT(ratio, 12.0) << "n=" << n << " p=" << p << " w=" << w
+                         << " l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SumMmTest,
+    ::testing::Values(MmCase{1, 4, 4, 2},          // degenerate n
+                      MmCase{2, 4, 4, 2},          //
+                      MmCase{37, 8, 4, 2},         // ragged n
+                      MmCase{256, 32, 4, 1},       // latency-1
+                      MmCase{256, 8, 8, 16},       // p < w*l (latency-bound)
+                      MmCase{1024, 256, 32, 8},    // p = w*l (balanced)
+                      MmCase{4096, 512, 32, 4},    //
+                      MmCase{4096, 64, 32, 64},    // deeply latency-bound
+                      MmCase{10000, 128, 16, 4},   // non-power-of-two n
+                      MmCase{1 << 14, 1024, 32, 32}));
+
+struct HmmCase {
+  std::int64_t n, d, pd, w, l;
+};
+
+class SumHmmTest : public ::testing::TestWithParam<HmmCase> {};
+
+TEST_P(SumHmmTest, MatchesOracle) {
+  const auto [n, d, pd, w, l] = GetParam();
+  const auto xs = alg::random_words(n, static_cast<std::uint64_t>(n + d));
+  const auto r = alg::sum_hmm(xs, d, pd, w, l);
+  EXPECT_EQ(r.sum, oracle(xs));
+}
+
+TEST_P(SumHmmTest, TimeTracksTheorem7) {
+  const auto [n, d, pd, w, l] = GetParam();
+  const auto xs = alg::iota_words(n);
+  const auto r = alg::sum_hmm(xs, d, pd, w, l);
+  const double predicted = analysis::sum_hmm_time(n, d * pd, w, l, d);
+  const double ratio = static_cast<double>(r.report.makespan) / predicted;
+  EXPECT_GT(ratio, 0.2) << "n=" << n << " d=" << d << " pd=" << pd
+                        << " w=" << w << " l=" << l;
+  EXPECT_LT(ratio, 12.0) << "n=" << n << " d=" << d << " pd=" << pd
+                         << " w=" << w << " l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SumHmmTest,
+    ::testing::Values(HmmCase{1, 1, 4, 4, 2},        // degenerate
+                      HmmCase{100, 2, 8, 4, 4},      // ragged n
+                      HmmCase{1024, 4, 64, 32, 16},  //
+                      HmmCase{4096, 16, 96, 32, 64}, // GTX580-like shape
+                      HmmCase{1 << 14, 8, 128, 32, 128},
+                      HmmCase{777, 3, 12, 4, 8},     // odd everything
+                      HmmCase{1 << 12, 1, 32, 32, 32}));  // d = 1 edge
+
+TEST(SumHmmStraightforward, MatchesOracle) {
+  for (std::int64_t n : {1, 2, 65, 1024, 5000}) {
+    const auto xs = alg::random_words(n, static_cast<std::uint64_t>(3 * n));
+    const auto r = alg::sum_hmm_straightforward(xs, /*p0=*/32, /*width=*/8,
+                                                /*latency=*/16);
+    EXPECT_EQ(r.sum, oracle(xs)) << "n=" << n;
+  }
+}
+
+TEST(SumHmmStraightforward, LatencyTermHurtsExactlyAsLemma6Predicts) {
+  // The whole point of Theorem 7 vs Lemma 6: with a deep latency, the
+  // straightforward algorithm's l*log(p0) tree term is visible, while the
+  // full-HMM algorithm replaces it with l + log n.  At equal total thread
+  // count the full algorithm must win decisively.
+  const std::int64_t n = 1 << 14, w = 32, l = 256, d = 8, pd = 128;
+  const auto xs = alg::iota_words(n);
+  const auto straightforward =
+      alg::sum_hmm_straightforward(xs, /*p0=*/d * pd, w, l);
+  const auto full = alg::sum_hmm(xs, d, pd, w, l);
+  EXPECT_EQ(straightforward.sum, full.sum);
+  EXPECT_GT(straightforward.report.makespan, full.report.makespan);
+}
+
+TEST(SumConsistency, AllModelsAgreeOnOneInput) {
+  const auto xs = alg::random_words(2048, /*seed=*/42);
+  const Word expect = oracle(xs);
+  EXPECT_EQ(alg::sum_sequential(xs).sum, expect);
+  EXPECT_EQ(alg::sum_pram(xs, 64).sum, expect);
+  EXPECT_EQ(alg::sum_dmm(xs, 128, 32, 2).sum, expect);
+  EXPECT_EQ(alg::sum_umm(xs, 128, 32, 64).sum, expect);
+  EXPECT_EQ(alg::sum_hmm_straightforward(xs, 128, 32, 64).sum, expect);
+  EXPECT_EQ(alg::sum_hmm(xs, 4, 64, 32, 64).sum, expect);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,218 @@
+// hmmsim — command-line driver for the library.
+//
+//   hmmsim <algorithm> [--model umm|hmm] [--n N] [--m M] [--p P] [--w W]
+//          [--l L] [--d D] [--seed S] [--csv]
+//
+// Algorithms: sum, scan, conv, sort, matmul (n = rows), match (m =
+// pattern length).  Prints the result summary, simulated time and the
+// pipeline utilisation; --csv emits one machine-readable line instead.
+//
+// This is the "downstream user" entry point: measure a workload at any
+// (n, m, p, w, l, d) operating point without writing C++.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "alg/convolution.hpp"
+#include "alg/matmul.hpp"
+#include "alg/prefix_sums.hpp"
+#include "alg/sort.hpp"
+#include "alg/string_match.hpp"
+#include "alg/sum.hpp"
+#include "alg/workload.hpp"
+#include "core/version.hpp"
+
+using namespace hmm;
+
+namespace {
+
+struct Options {
+  std::string algorithm;
+  std::string model = "hmm";  // or "umm"
+  std::int64_t n = 1 << 16;
+  std::int64_t m = 32;
+  std::int64_t p = 2048;
+  std::int64_t w = 32;
+  std::int64_t l = 400;
+  std::int64_t d = 16;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+int usage(const char* argv0) {
+  std::printf(
+      "hmm-sim %s — memory machine model simulator "
+      "(Nakano, IPDPSW 2013)\n\n"
+      "usage: %s <sum|scan|conv|sort|matmul|match> [options]\n"
+      "  --model umm|hmm   machine to run on (default hmm)\n"
+      "  --n N             input size / matrix rows (default 65536)\n"
+      "  --m M             filter / pattern length (default 32)\n"
+      "  --p P             total threads (default 2048)\n"
+      "  --w W             width / warp size (default 32)\n"
+      "  --l L             global memory latency (default 400)\n"
+      "  --d D             number of DMMs for --model hmm (default 16)\n"
+      "  --seed S          workload seed (default 1)\n"
+      "  --csv             one CSV line: algorithm,model,n,m,p,w,l,d,"
+      "time,global_stages\n",
+      kVersionString, argv0);
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.algorithm = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--csv") {
+      opt.csv = true;
+    } else if (a == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      opt.model = v;
+    } else {
+      const char* v = next();
+      if (!v) return false;
+      const std::int64_t x = std::atoll(v);
+      if (a == "--n") opt.n = x;
+      else if (a == "--m") opt.m = x;
+      else if (a == "--p") opt.p = x;
+      else if (a == "--w") opt.w = x;
+      else if (a == "--l") opt.l = x;
+      else if (a == "--d") opt.d = x;
+      else if (a == "--seed") opt.seed = static_cast<std::uint64_t>(x);
+      else return false;
+    }
+  }
+  return opt.model == "umm" || opt.model == "hmm";
+}
+
+struct Outcome {
+  Cycle time = 0;
+  std::int64_t global_stages = 0;
+  std::string summary;
+};
+
+Outcome run_algorithm(const Options& o) {
+  const bool hmm_model = o.model == "hmm";
+  const std::int64_t pd = hmm_model ? o.p / o.d : 0;
+  if (hmm_model && (o.p % o.d != 0 || pd < 1)) {
+    throw PreconditionError("--p must be a positive multiple of --d");
+  }
+
+  Outcome out;
+  auto finish = [&](const RunReport& r, std::string summary) {
+    out.time = r.makespan;
+    out.global_stages = r.global_pipeline.stages;
+    out.summary = std::move(summary);
+  };
+
+  if (o.algorithm == "sum") {
+    const auto xs = alg::random_words(o.n, o.seed);
+    if (hmm_model) {
+      const auto r = alg::sum_hmm(xs, o.d, pd, o.w, o.l);
+      finish(r.report, "sum = " + std::to_string(r.sum));
+    } else {
+      const auto r = alg::sum_umm(xs, o.p, o.w, o.l);
+      finish(r.report, "sum = " + std::to_string(r.sum));
+    }
+  } else if (o.algorithm == "scan") {
+    const auto xs = alg::random_words(o.n, o.seed);
+    if (hmm_model) {
+      const auto r = alg::prefix_sums_hmm(xs, o.d, pd, o.w, o.l);
+      finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
+    } else {
+      const auto r = alg::prefix_sums_umm(xs, o.p, o.w, o.l);
+      finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
+    }
+  } else if (o.algorithm == "conv") {
+    const auto a = alg::random_words(o.m, o.seed);
+    const auto x =
+        alg::random_words(alg::conv_signal_length(o.m, o.n), o.seed + 1);
+    if (hmm_model) {
+      const auto r = alg::convolution_hmm(a, x, o.d, pd, o.w, o.l);
+      finish(r.report, "z[0] = " + std::to_string(r.z.front()));
+    } else {
+      const auto r = alg::convolution_umm(a, x, o.p, o.w, o.l);
+      finish(r.report, "z[0] = " + std::to_string(r.z.front()));
+    }
+  } else if (o.algorithm == "sort") {
+    const auto xs = alg::random_words(o.n, o.seed);
+    if (hmm_model) {
+      const auto r = alg::sort_hmm(xs, o.d, pd, o.w, o.l);
+      finish(r.report, "min = " + std::to_string(r.sorted.front()) +
+                           ", max = " + std::to_string(r.sorted.back()));
+    } else {
+      const auto r = alg::sort_umm(xs, o.p, o.w, o.l);
+      finish(r.report, "min = " + std::to_string(r.sorted.front()) +
+                           ", max = " + std::to_string(r.sorted.back()));
+    }
+  } else if (o.algorithm == "matmul") {
+    const auto a = alg::random_words(o.n * o.n, o.seed);
+    const auto b = alg::random_words(o.n * o.n, o.seed + 1);
+    if (hmm_model) {
+      const std::int64_t tile = std::min<std::int64_t>(o.n, o.w);
+      const auto r = alg::matmul_hmm_tiled(a, b, o.n, o.d, pd, o.w, o.l, tile);
+      finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
+    } else {
+      const auto r = alg::matmul_umm(a, b, o.n, o.p, o.w, o.l);
+      finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
+    }
+  } else if (o.algorithm == "match") {
+    const auto pat = alg::random_words(o.m, o.seed, 0, 3);
+    const auto txt = alg::random_words(o.n, o.seed + 1, 0, 3);
+    if (hmm_model) {
+      const auto r = alg::string_match_hmm(pat, txt, o.d, pd, o.w, o.l);
+      finish(r.report,
+             "min distance = " +
+                 std::to_string(*std::min_element(r.distance.begin(),
+                                                  r.distance.end())));
+    } else {
+      const auto r = alg::string_match_umm(pat, txt, o.p, o.w, o.l);
+      finish(r.report,
+             "min distance = " +
+                 std::to_string(*std::min_element(r.distance.begin(),
+                                                  r.distance.end())));
+    }
+  } else {
+    throw PreconditionError("unknown algorithm: " + o.algorithm);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage(argv[0]);
+  try {
+    const Outcome out = run_algorithm(opt);
+    if (opt.csv) {
+      std::printf("%s,%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+                  opt.algorithm.c_str(), opt.model.c_str(),
+                  static_cast<long long>(opt.n), static_cast<long long>(opt.m),
+                  static_cast<long long>(opt.p), static_cast<long long>(opt.w),
+                  static_cast<long long>(opt.l), static_cast<long long>(opt.d),
+                  static_cast<long long>(out.time),
+                  static_cast<long long>(out.global_stages));
+    } else {
+      std::printf("%s on %s(n=%lld, m=%lld, p=%lld, w=%lld, l=%lld, d=%lld)\n",
+                  opt.algorithm.c_str(), opt.model.c_str(),
+                  static_cast<long long>(opt.n), static_cast<long long>(opt.m),
+                  static_cast<long long>(opt.p), static_cast<long long>(opt.w),
+                  static_cast<long long>(opt.l),
+                  static_cast<long long>(opt.d));
+      std::printf("  %s\n", out.summary.c_str());
+      std::printf("  time: %lld time units, global pipeline stages: %lld\n",
+                  static_cast<long long>(out.time),
+                  static_cast<long long>(out.global_stages));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
