@@ -4,16 +4,18 @@
 // mnl/p serial term keeps shrinking with p until the mn/w bandwidth term
 // (or the l log m tail) takes over.
 #include <cstdlib>
+#include <vector>
 
 #include "alg/convolution.hpp"
 #include "alg/workload.hpp"
 #include "analysis/cost_model.hpp"
 #include "bench_common.hpp"
+#include "run/sweep.hpp"
 
 namespace hmm {
 namespace {
 
-int run() {
+int run_ablation() {
   bench::banner("Ablation A5 — convolution thread budget (Theorem 8)",
                 "m = 64, n = 1024, w = 32, l = 32; sweeping p across the "
                 "p <= n and p = k*n regimes");
@@ -34,27 +36,39 @@ int run() {
   Cycle first = 0;
   Cycle prev = 0;
   Cycle best = 0;
-  for (std::int64_t p : {64, 256, 1024, 4096, 16384}) {
-    const auto r = alg::convolution_umm(a, x, p, w, l);
-    ok &= r.z == want;
-    if (p == 64) first = r.report.makespan;
+  // Grid points are independent simulations: evaluate them across all
+  // cores (deterministic at any job count), then judge in sweep order.
+  const std::vector<std::int64_t> ps = {64, 256, 1024, 4096, 16384};
+  std::vector<Cycle> makespans(ps.size(), 0);
+  std::vector<char> correct(ps.size(), false);
+  run::SweepRunner(0).for_each(
+      static_cast<std::int64_t>(ps.size()), [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const auto r = alg::convolution_umm(a, x, ps[idx], w, l);
+        makespans[idx] = r.report.makespan;
+        correct[idx] = r.z == want ? 1 : 0;
+      });
+  for (std::size_t idx = 0; idx < ps.size(); ++idx) {
+    const std::int64_t p = ps[idx];
+    const Cycle makespan = makespans[idx];
+    ok &= correct[idx] != 0;
+    if (p == 64) first = makespan;
     const double predicted = analysis::conv_mm_time(m, n, p, w, l);
     const std::string regime = p < n    ? "p < n (strip-mined)"
                                : p == n ? "p = n (one z per thread)"
                                         : "p = " + std::to_string(p / n) +
                                               "n (teams + tree)";
-    t.add_row({Table::cell(p), regime, Table::cell(r.report.makespan),
+    t.add_row({Table::cell(p), regime, Table::cell(makespan),
                Table::cell(predicted, 0),
-               Table::cell(static_cast<double>(r.report.makespan) / predicted,
-                           2),
+               Table::cell(static_cast<double>(makespan) / predicted, 2),
                Table::cell(static_cast<double>(first) /
-                               static_cast<double>(r.report.makespan),
+                               static_cast<double>(makespan),
                            1)});
     // While the mnl/p serial term dominates (p <= n here), doubling p
     // must keep paying off.
-    if (prev != 0 && p <= n) ok &= r.report.makespan < prev;
-    prev = r.report.makespan;
-    best = best == 0 ? r.report.makespan : std::min(best, r.report.makespan);
+    if (prev != 0 && p <= n) ok &= makespan < prev;
+    prev = makespan;
+    best = best == 0 ? makespan : std::min(best, makespan);
   }
   // Past the floor, teams may stop helping but must stay within a small
   // factor of the best point — Theorem 8's band, not a cliff.
@@ -70,4 +84,4 @@ int run() {
 }  // namespace
 }  // namespace hmm
 
-int main() { return hmm::run(); }
+int main() { return hmm::run_ablation(); }

@@ -5,15 +5,17 @@
 // advantage over the flat UMM must vanish (its tree phase degenerates
 // into Lemma 5 with the same latency).
 #include <cstdlib>
+#include <vector>
 
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
 #include "bench_common.hpp"
+#include "run/sweep.hpp"
 
 namespace hmm {
 namespace {
 
-int run() {
+int run_ablation() {
   bench::banner("Ablation A7 — shared-memory latency sensitivity",
                 "HMM sum, n = 2^18, d = 16, p = 2048, w = 32, global l = "
                 "512; sweeping the shared latency");
@@ -28,19 +30,30 @@ int run() {
   Cycle prev = 0;
   double first_speedup = 0.0;
   double last_speedup = 0.0;
-  for (Cycle sl : {1, 8, 64, 512}) {
-    Machine m = Machine::hmm(w, l, d, pd, std::max<std::int64_t>(pd, d),
-                             n + d, /*record_trace=*/false, sl);
-    m.global_memory().load(0, xs);
-    const auto r = alg::sum_hmm(m, n);
-    ok &= r.sum == flat.sum;
+  // Each latency point builds its own machine: evaluate the sweep across
+  // all cores via SweepRunner, then apply the verdicts in sweep order.
+  const std::vector<Cycle> sls = {1, 8, 64, 512};
+  std::vector<Cycle> makespans(sls.size(), 0);
+  std::vector<char> correct(sls.size(), false);
+  run::SweepRunner(0).for_each(
+      static_cast<std::int64_t>(sls.size()), [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        Machine m = Machine::hmm(w, l, d, pd, std::max<std::int64_t>(pd, d),
+                                 n + d, /*record_trace=*/false, sls[idx]);
+        m.global_memory().load(0, xs);
+        const auto r = alg::sum_hmm(m, n);
+        makespans[idx] = r.report.makespan;
+        correct[idx] = r.sum == flat.sum ? 1 : 0;
+      });
+  for (std::size_t idx = 0; idx < sls.size(); ++idx) {
+    ok &= correct[idx] != 0;
     last_speedup = static_cast<double>(flat.report.makespan) /
-                   static_cast<double>(r.report.makespan);
+                   static_cast<double>(makespans[idx]);
     if (first_speedup == 0.0) first_speedup = last_speedup;
-    t.add_row({Table::cell(sl), Table::cell(r.report.makespan),
+    t.add_row({Table::cell(sls[idx]), Table::cell(makespans[idx]),
                Table::cell(last_speedup, 2)});
-    if (prev != 0) ok &= r.report.makespan >= prev;  // monotone degradation
-    prev = r.report.makespan;
+    if (prev != 0) ok &= makespans[idx] >= prev;  // monotone degradation
+    prev = makespans[idx];
   }
   t.print(std::cout);
 
@@ -63,4 +76,4 @@ int run() {
 }  // namespace
 }  // namespace hmm
 
-int main() { return hmm::run(); }
+int main() { return hmm::run_ablation(); }

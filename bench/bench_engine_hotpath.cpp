@@ -1,0 +1,231 @@
+// bench_engine_hotpath — self-timing throughput benchmark of the engine
+// hot path and the SweepRunner, writing machine-readable BENCH_engine.json
+// so successive PRs can track the perf trajectory.
+//
+//   bench_engine_hotpath [--smoke] [--jobs J] [--out PATH]
+//
+// Three measurements:
+//   1. single-run hot path — repeated HMM sum runs; reports
+//      warp-rounds/sec (engine scheduling throughput) and
+//      memory-batches/sec (pricing + pipeline throughput);
+//   2. sweep scaling — the same grid of independent UMM sum points
+//      evaluated serially (jobs=1) and across a thread pool (jobs=J,
+//      default 8); reports wall seconds and the speedup;
+//   3. determinism — asserts the serial and parallel sweeps produced
+//      identical reports (exits nonzero otherwise).
+//
+// --smoke shrinks everything to a grid that finishes in well under a
+// second; ctest runs it under the `bench-smoke` label.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alg/sum.hpp"
+#include "alg/workload.hpp"
+#include "core/version.hpp"
+#include "run/sweep.hpp"
+
+namespace hmm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct SingleRunResult {
+  std::int64_t repetitions = 0;
+  double seconds_per_run = 0.0;
+  std::int64_t warp_rounds = 0;      // per run: exec issue slots
+  std::int64_t memory_batches = 0;   // per run: pipeline batches
+  double warp_rounds_per_sec = 0.0;
+  double memory_batches_per_sec = 0.0;
+  Cycle makespan = 0;
+};
+
+/// Repeated HMM sum runs on one machine: the engine's hottest mix of
+/// memory rounds (global + shared), compute rounds and barriers.
+SingleRunResult measure_single_run(std::int64_t n, std::int64_t d,
+                                   std::int64_t pd, std::int64_t w,
+                                   Cycle l, std::int64_t reps) {
+  const auto xs = alg::random_words(n, 1);
+  SingleRunResult r;
+  r.repetitions = reps;
+
+  // Warm-up run, also the source of the per-run counters.
+  Machine machine = Machine::hmm(w, l, d, pd, std::max(pd, d), n + d);
+  machine.global_memory().load(0, xs);
+  const RunReport warm = alg::sum_hmm(machine, n).report;
+  for (const ExecStats& e : warm.exec) r.warp_rounds += e.issue_slots;
+  r.memory_batches += warm.global_pipeline.batches;
+  for (const PipelineStats& s : warm.shared_pipelines) {
+    r.memory_batches += s.batches;
+  }
+  r.makespan = warm.makespan;
+
+  const auto t0 = Clock::now();
+  for (std::int64_t i = 0; i < reps; ++i) {
+    const auto run = alg::sum_hmm(machine, n);
+    if (run.report.makespan != warm.makespan) {
+      std::fprintf(stderr, "FATAL: repeated runs disagree on makespan\n");
+      std::exit(1);
+    }
+  }
+  const double elapsed = seconds_since(t0);
+  r.seconds_per_run = elapsed / static_cast<double>(reps);
+  r.warp_rounds_per_sec =
+      static_cast<double>(r.warp_rounds) / r.seconds_per_run;
+  r.memory_batches_per_sec =
+      static_cast<double>(r.memory_batches) / r.seconds_per_run;
+  return r;
+}
+
+struct SweepResult {
+  std::int64_t grid_points = 0;
+  double serial_seconds = 0.0;
+  std::int64_t parallel_jobs = 0;
+  double parallel_seconds = 0.0;
+  double speedup = 0.0;
+  bool deterministic = false;
+};
+
+/// The same grid of independent UMM sum points, serial vs pooled.
+SweepResult measure_sweep(std::int64_t grid_points, std::int64_t n,
+                          std::int64_t jobs) {
+  const auto xs = alg::random_words(n, 7);
+  SweepResult r;
+  r.grid_points = grid_points;
+  r.parallel_jobs = jobs;
+
+  auto evaluate = [&](std::int64_t pool_jobs) {
+    std::vector<Cycle> makespans(static_cast<std::size_t>(grid_points), 0);
+    const run::SweepRunner pool(pool_jobs);
+    pool.for_each(grid_points, [&](std::int64_t i) {
+      // Vary latency and thread count across the grid so points differ
+      // in cost, exercising the pool's dynamic load balancing.
+      const Cycle l = 64 + 32 * (i % 8);
+      const std::int64_t p = 512 << (i % 3);
+      makespans[static_cast<std::size_t>(i)] =
+          alg::sum_umm(xs, p, 32, l).report.makespan;
+    });
+    return makespans;
+  };
+
+  const auto t_serial = Clock::now();
+  const auto serial = evaluate(1);
+  r.serial_seconds = seconds_since(t_serial);
+
+  const auto t_parallel = Clock::now();
+  const auto parallel = evaluate(jobs);
+  r.parallel_seconds = seconds_since(t_parallel);
+
+  r.speedup = r.serial_seconds / r.parallel_seconds;
+  r.deterministic = serial == parallel;
+  return r;
+}
+
+int run_bench(int argc, char** argv) {
+  bool smoke = false;
+  std::int64_t jobs = 8;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_engine_hotpath [--smoke] [--jobs J] "
+                   "[--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("engine hot-path benchmark (hmm-sim %s, %u hardware "
+              "thread%s)\n",
+              kVersionString, hw, hw == 1 ? "" : "s");
+
+  const std::int64_t n_single = smoke ? (1 << 13) : (1 << 17);
+  const std::int64_t reps = smoke ? 3 : 20;
+  const SingleRunResult single =
+      measure_single_run(n_single, 16, 128, 32, 400, reps);
+  std::printf(
+      "single run : n=%lld, %.3f ms/run, %.3g warp-rounds/s, "
+      "%.3g memory-batches/s\n",
+      static_cast<long long>(n_single), 1e3 * single.seconds_per_run,
+      single.warp_rounds_per_sec, single.memory_batches_per_sec);
+
+  const std::int64_t grid = smoke ? 8 : 48;
+  const std::int64_t n_sweep = smoke ? (1 << 12) : (1 << 15);
+  const SweepResult sweep = measure_sweep(grid, n_sweep, jobs);
+  std::printf(
+      "sweep      : %lld points, serial %.3fs, %lld-thread %.3fs, "
+      "speedup %.2fx, deterministic %s\n",
+      static_cast<long long>(sweep.grid_points), sweep.serial_seconds,
+      static_cast<long long>(sweep.parallel_jobs), sweep.parallel_seconds,
+      sweep.speedup, sweep.deterministic ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"engine_hotpath\",\n"
+      "  \"version\": \"%s\",\n"
+      "  \"smoke\": %s,\n"
+      "  \"hardware_concurrency\": %u,\n"
+      "  \"single_run\": {\n"
+      "    \"workload\": \"hmm_sum\",\n"
+      "    \"n\": %lld, \"d\": 16, \"p\": 2048, \"w\": 32, \"l\": 400,\n"
+      "    \"repetitions\": %lld,\n"
+      "    \"seconds_per_run\": %.6g,\n"
+      "    \"warp_rounds\": %lld,\n"
+      "    \"warp_rounds_per_sec\": %.6g,\n"
+      "    \"memory_batches\": %lld,\n"
+      "    \"memory_batches_per_sec\": %.6g,\n"
+      "    \"makespan_time_units\": %lld\n"
+      "  },\n"
+      "  \"sweep\": {\n"
+      "    \"workload\": \"umm_sum_grid\",\n"
+      "    \"grid_points\": %lld,\n"
+      "    \"serial_seconds\": %.6g,\n"
+      "    \"parallel_jobs\": %lld,\n"
+      "    \"parallel_seconds\": %.6g,\n"
+      "    \"speedup\": %.6g,\n"
+      "    \"deterministic\": %s\n"
+      "  }\n"
+      "}\n",
+      kVersionString, smoke ? "true" : "false", hw,
+      static_cast<long long>(n_single), static_cast<long long>(reps),
+      single.seconds_per_run, static_cast<long long>(single.warp_rounds),
+      single.warp_rounds_per_sec,
+      static_cast<long long>(single.memory_batches),
+      single.memory_batches_per_sec,
+      static_cast<long long>(single.makespan),
+      static_cast<long long>(sweep.grid_points), sweep.serial_seconds,
+      static_cast<long long>(sweep.parallel_jobs), sweep.parallel_seconds,
+      sweep.speedup, sweep.deterministic ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!sweep.deterministic) {
+    std::fprintf(stderr, "FATAL: sweep results depend on the job count\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hmm
+
+int main(int argc, char** argv) { return hmm::run_bench(argc, argv); }

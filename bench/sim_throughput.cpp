@@ -5,11 +5,14 @@
 // regressions in the engine, not against the paper.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "alg/contiguous.hpp"
 #include "alg/device.hpp"
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
 #include "machine/machine.hpp"
+#include "run/sweep.hpp"
 
 namespace hmm {
 namespace {
@@ -60,6 +63,27 @@ void BM_BarrierRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_BarrierRound)->Arg(256)->Arg(2048);
+
+void BM_ParameterSweep(benchmark::State& state) {
+  // A 16-point (p, l) grid of independent UMM sums via SweepRunner; the
+  // argument is the worker count.  On a multi-core host throughput
+  // scales with the argument; results are identical at any count.
+  const std::int64_t jobs = state.range(0);
+  const std::int64_t n = 1 << 12;
+  const auto xs = alg::random_words(n, 3);
+  const run::SweepRunner pool(jobs);
+  for (auto _ : state) {
+    std::vector<Cycle> makespans(16, 0);
+    pool.for_each(16, [&](std::int64_t i) {
+      makespans[static_cast<std::size_t>(i)] =
+          alg::sum_umm(xs, 256 << (i % 3), 32, 32 + 32 * (i % 4))
+              .report.makespan;
+    });
+    benchmark::DoNotOptimize(makespans.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ParameterSweep)->Arg(1)->Arg(2)->Arg(8);
 
 void BM_NestedSubtasks(benchmark::State& state) {
   // Deeply nested device subroutines: the symmetric-transfer overhead.

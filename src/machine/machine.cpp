@@ -1,10 +1,10 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
-#include <set>
 #include <utility>
 
 #include "core/error.hpp"
+#include "machine/ready_queue.hpp"
 #include "mm/batch_cost.hpp"
 
 namespace hmm {
@@ -87,7 +87,9 @@ BankMemory& Machine::shared_memory(DmmId dmm) {
 }
 
 const BankMemory& Machine::shared_memory(DmmId dmm) const {
-  return const_cast<Machine*>(this)->shared_memory(dmm);
+  HMM_REQUIRE(has_shared(), "machine has no shared memory");
+  HMM_REQUIRE(dmm >= 0 && dmm < num_dmms(), "DMM id out of range");
+  return shared_[static_cast<std::size_t>(dmm)].memory;
 }
 
 BankMemory& Machine::global_memory() {
@@ -96,7 +98,8 @@ BankMemory& Machine::global_memory() {
 }
 
 const BankMemory& Machine::global_memory() const {
-  return const_cast<Machine*>(this)->global_memory();
+  HMM_REQUIRE(has_global(), "machine has no global memory");
+  return global_->memory;
 }
 
 // ---------------------------------------------------------------------------
@@ -162,7 +165,7 @@ class Engine {
   ThreadState& thread(ThreadId t) {
     return threads_[static_cast<std::size_t>(t)];
   }
-  void requeue(const WarpState& w) { queue_.insert({w.clock, w.id}); }
+  void requeue(const WarpState& w) { queue_.push(w.clock, w.id); }
 
   Machine& machine_;
   const Machine::KernelFn& kernel_;
@@ -172,7 +175,11 @@ class Engine {
   std::vector<ExecUnit> exec_;
   std::vector<BarrierDomain> dmm_domains_;
   BarrierDomain machine_domain_;
-  std::set<std::pair<Cycle, WarpId>> queue_;
+  ReadyQueue queue_;
+  // Scratch reused by every memory/compute round: capacity is bounded by
+  // the warp width, so after launch the hot path allocates nothing.
+  WarpBatch batch_scratch_;
+  std::vector<ThreadId> participants_scratch_;
   RunReport report_;
 };
 
@@ -240,6 +247,15 @@ void Engine::launch_threads() {
   }
   machine_domain_.active = topo.total_warps();
 
+  queue_.reserve(static_cast<std::size_t>(topo.total_warps()));
+  batch_scratch_.reserve(static_cast<std::size_t>(topo.width()));
+  participants_scratch_.reserve(static_cast<std::size_t>(topo.width()));
+  if (machine_.config_.record_trace) {
+    // Every warp produces at least a few events; start with a generous
+    // capacity so early rounds never reallocate mid-run.
+    report_.trace.reserve(static_cast<std::size_t>(topo.total_warps()) * 8);
+  }
+
   for (const WarpState& w : warps_) requeue(w);
 }
 
@@ -260,8 +276,7 @@ RunReport Engine::run() {
   report_.warps = machine_.topology().total_warps();
 
   while (!queue_.empty()) {
-    const auto [t, wid] = *queue_.begin();
-    queue_.erase(queue_.begin());
+    const auto [t, wid] = queue_.pop();
     round(warps_[static_cast<std::size_t>(wid)]);
   }
 
@@ -375,10 +390,10 @@ void Engine::round(WarpState& w) {
 }
 
 void Engine::memory_round(WarpState& w, MemorySpace space) {
-  WarpBatch batch;
-  std::vector<ThreadId> participants;
-  batch.reserve(static_cast<std::size_t>(w.count));
-  participants.reserve(static_cast<std::size_t>(w.count));
+  WarpBatch& batch = batch_scratch_;
+  std::vector<ThreadId>& participants = participants_scratch_;
+  batch.clear();
+  participants.clear();
   for (std::int64_t i = 0; i < w.count; ++i) {
     ThreadState& ts = thread(w.first + i);
     if (ts.done) continue;
@@ -399,9 +414,10 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
   HMM_ASSERT(!batch.empty(), "memory round without requests");
 
   Machine::Port& port = port_for(w.dmm, space);
+  const BatchProfile profile =
+      profile_batch(port.memory.geometry(), batch, port.cost_scratch);
   const std::int64_t stages =
-      port.dmm_pricing ? dmm_batch_stages(port.memory.geometry(), batch)
-                       : umm_batch_stages(port.memory.geometry(), batch);
+      port.dmm_pricing ? profile.dmm_stages : profile.umm_stages;
 
   // Issuing the access is one warp instruction on this DMM's SIMD engine;
   // the pipeline then carries the batch independently (latency hiding).
@@ -436,7 +452,8 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
 
 void Engine::compute_round(WarpState& w) {
   Cycle cycles = 0;
-  std::vector<ThreadId> participants;
+  std::vector<ThreadId>& participants = participants_scratch_;
+  participants.clear();
   for (std::int64_t i = 0; i < w.count; ++i) {
     ThreadState& ts = thread(w.first + i);
     if (ts.done || ts.ctx.pending_.kind != Op::Kind::kCompute) continue;

@@ -39,6 +39,7 @@
 #include "machine/thread_ctx.hpp"
 #include "machine/topology.hpp"
 #include "mm/bank_memory.hpp"
+#include "mm/batch_cost.hpp"
 #include "mm/pipeline.hpp"
 
 namespace hmm {
@@ -103,6 +104,7 @@ class Machine {
   struct Port {
     MemoryPipeline pipeline;
     BankMemory memory;
+    BatchCostScratch cost_scratch;  ///< reusable tables for batch pricing
     bool dmm_pricing;  ///< true: bank-conflict cost; false: group cost
 
     Port(MemoryGeometry geom, const MemorySpec& spec, bool dmm)

@@ -23,12 +23,16 @@ struct TraceEvent {
   Cycle begin = 0;  ///< first injection / compute / release cycle
   Cycle end = 0;    ///< last injection or compute cycle
   Cycle ready = 0;  ///< cycle the warp proceeds
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 /// Per-DMM execution-engine counters (one warp instruction per cycle).
 struct ExecStats {
   std::int64_t issue_slots = 0;  ///< warp instructions issued
   Cycle busy_until = 0;          ///< next free issue cycle at run end
+
+  friend bool operator==(const ExecStats&, const ExecStats&) = default;
 };
 
 struct RunReport {
@@ -43,6 +47,10 @@ struct RunReport {
   std::int64_t warps = 0;
 
   std::vector<TraceEvent> trace;  ///< populated only when tracing
+
+  /// Byte-for-byte comparability: determinism tests assert that repeated
+  /// runs (and sweeps at any thread count) produce identical reports.
+  friend bool operator==(const RunReport&, const RunReport&) = default;
 };
 
 }  // namespace hmm

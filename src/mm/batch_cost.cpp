@@ -20,6 +20,17 @@ std::vector<Address> distinct_addresses(std::span<const Request> batch) {
   return addrs;
 }
 
+/// Grow an epoch table to cover index `i`.  Doubling keeps the growth
+/// amortised O(1) per element; new slots are epoch 0, i.e. "never seen"
+/// (the live epoch starts at 1).
+template <typename T>
+inline T* table_for(std::vector<T>& table, std::size_t i) {
+  if (i >= table.size()) {
+    table.resize(std::max(i + 1, table.size() * 2));
+  }
+  return table.data();
+}
+
 }  // namespace
 
 std::int64_t dmm_batch_stages(const MemoryGeometry& geom,
@@ -34,6 +45,61 @@ std::int64_t umm_batch_stages(const MemoryGeometry& geom,
 
 BatchProfile profile_batch(const MemoryGeometry& geom,
                            std::span<const Request> batch) {
+  return profile_batch_reference(geom, batch);
+}
+
+BatchProfile profile_batch(const MemoryGeometry& geom,
+                           std::span<const Request> batch,
+                           BatchCostScratch& scratch) {
+  BatchProfile p;
+  if (batch.empty()) return p;
+
+  const std::uint64_t epoch = ++scratch.epoch_;
+  std::uint64_t* bank_epoch = table_for(
+      scratch.bank_epoch_, static_cast<std::size_t>(geom.width() - 1));
+  std::int64_t* bank_count = table_for(
+      scratch.bank_count_, static_cast<std::size_t>(geom.width() - 1));
+
+  for (const Request& r : batch) {
+    const Address a = r.address;
+    std::uint64_t* addr_epoch =
+        table_for(scratch.addr_epoch_, static_cast<std::size_t>(a));
+    if (addr_epoch[a] == epoch) continue;  // duplicate: merges for free
+    addr_epoch[a] = epoch;
+    ++p.distinct_addresses;
+
+    const BankId b = geom.bank_of(a);
+    if (bank_epoch[b] != epoch) {
+      bank_epoch[b] = epoch;
+      bank_count[b] = 0;
+      ++p.touched_banks;
+    }
+    const std::int64_t c = ++bank_count[b];
+    // Tie-break like the reference: the SMALLEST bank achieving the max.
+    if (c > p.dmm_stages || (c == p.dmm_stages && b < p.hottest_bank)) {
+      p.dmm_stages = c;
+      p.hottest_bank = b;
+    }
+
+    const GroupId g = geom.group_of(a);
+    std::uint64_t* group_epoch =
+        table_for(scratch.group_epoch_, static_cast<std::size_t>(g));
+    if (group_epoch[g] != epoch) {
+      group_epoch[g] = epoch;
+      ++p.umm_stages;
+    }
+  }
+  p.touched_groups = p.umm_stages;
+
+  HMM_ASSERT(p.dmm_stages <= p.umm_stages,
+             "a batch can never conflict worse on the DMM than it "
+             "de-coalesces on the UMM (each group holds <=1 address per "
+             "bank)");
+  return p;
+}
+
+BatchProfile profile_batch_reference(const MemoryGeometry& geom,
+                                     std::span<const Request> batch) {
   BatchProfile p;
   if (batch.empty()) return p;
 

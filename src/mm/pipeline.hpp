@@ -31,6 +31,9 @@ struct PipelineStats {
   std::int64_t requests = 0;       ///< total thread requests carried
   Cycle busy_until = 0;            ///< next free injection cycle
   Cycle idle_cycles = 0;           ///< gaps between consecutive injections
+
+  friend bool operator==(const PipelineStats&,
+                         const PipelineStats&) = default;
 };
 
 /// A single in-order memory pipeline with fixed latency.  The scheduler

@@ -124,6 +124,61 @@ TEST(BatchCostProperty, DmmStagesNeverExceedUmmStages) {
   }
 }
 
+// The engine's stamped counting pass must agree with the sort-based
+// reference (the executable specification) on every field, for any batch
+// — including hottest_bank's smallest-bank tie-break.
+TEST(BatchCostScratchTest, MatchesReferenceOnHandPickedBatches) {
+  const MemoryGeometry g(4);
+  BatchCostScratch scratch;
+  for (const auto& batch :
+       {reads({8, 9, 10, 11}), reads({0, 4, 8, 12}), reads({0, 5, 10, 15}),
+        reads({6, 6, 6, 6}), reads({2, 2, 6, 6}), reads({0, 2, 6, 15}),
+        reads({0, 4, 8, 3}), reads({1}), WarpBatch{}}) {
+    EXPECT_EQ(profile_batch(g, batch, scratch),
+              profile_batch_reference(g, batch));
+  }
+}
+
+TEST(BatchCostScratchTest, HottestBankTieBreaksToSmallestBank) {
+  const MemoryGeometry g(4);
+  BatchCostScratch scratch;
+  // Banks 3 and 1 both hold two distinct addresses; bank 3 finishes
+  // first in request order, but the reference reports the smallest.
+  const auto b = reads({3, 7, 1, 5});
+  const auto p = profile_batch(g, b, scratch);
+  EXPECT_EQ(p.dmm_stages, 2);
+  EXPECT_EQ(p.hottest_bank, 1);
+  EXPECT_EQ(p, profile_batch_reference(g, b));
+}
+
+// One scratch instance reused across many random batches AND geometries:
+// the epoch versioning must isolate batches perfectly, with the
+// dmm_stages <= umm_stages invariant holding throughout.
+TEST(BatchCostScratchProperty, MatchesReferenceAcrossReusedScratch) {
+  Rng rng(4242);
+  BatchCostScratch scratch;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::int64_t w = 1 + static_cast<std::int64_t>(rng.next_below(64));
+    const MemoryGeometry g(w);
+    WarpBatch b;
+    const auto lanes = rng.next_below(static_cast<std::uint64_t>(w) + 1);
+    for (std::uint64_t i = 0; i < lanes; ++i) {
+      // Mix tight and sparse address ranges so the scratch tables both
+      // grow and get dense collisions.
+      const auto range = (trial % 3 == 0) ? 16u : 4096u;
+      b.push_back(Request{.lane = static_cast<ThreadId>(i),
+                          .kind = AccessKind::kRead,
+                          .address =
+                              static_cast<Address>(rng.next_below(range)),
+                          .value = 0});
+    }
+    const BatchProfile fast = profile_batch(g, b, scratch);
+    const BatchProfile ref = profile_batch_reference(g, b);
+    ASSERT_EQ(fast, ref) << "w=" << w << " trial=" << trial;
+    EXPECT_LE(fast.dmm_stages, fast.umm_stages);
+  }
+}
+
 // Property: batch costs are permutation invariant (the MMU prices the
 // set of addresses, not their lane order).
 TEST(BatchCostProperty, LaneOrderIrrelevant) {

@@ -1,0 +1,116 @@
+// Determinism regression: a (config, kernel, inputs) triple fully
+// determines the RunReport.  The perf work (heap ready-queue, scratch
+// reuse, stamped batch pricing, SweepRunner pool) must not change a
+// single field — repeated runs and sweeps at thread counts 1, 2 and 8
+// have to agree byte for byte (RunReport::operator== compares every
+// counter, pipeline stat and trace event).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alg/sum.hpp"
+#include "alg/workload.hpp"
+#include "machine/machine.hpp"
+#include "run/sweep.hpp"
+
+namespace hmm {
+namespace {
+
+TEST(Determinism, RepeatedRunsProduceIdenticalReports) {
+  const std::int64_t n = 1 << 12;
+  const auto xs = alg::random_words(n, 11);
+  Machine m = Machine::hmm(32, 200, 4, 64, 64, n + 4);
+  m.global_memory().load(0, xs);
+
+  const RunReport first = alg::sum_hmm(m, n).report;
+  for (int i = 0; i < 3; ++i) {
+    const RunReport again = alg::sum_hmm(m, n).report;
+    EXPECT_EQ(first, again) << "repetition " << i;
+  }
+  EXPECT_GT(first.makespan, 0);
+}
+
+TEST(Determinism, TracedRunsProduceIdenticalTraces) {
+  const std::int64_t n = 1 << 10;
+  const auto xs = alg::random_words(n, 3);
+  Machine m = Machine::hmm(32, 100, 2, 64, 64, n + 2, /*record_trace=*/true);
+  m.global_memory().load(0, xs);
+
+  const RunReport first = alg::sum_hmm(m, n).report;
+  const RunReport again = alg::sum_hmm(m, n).report;
+  ASSERT_FALSE(first.trace.empty());
+  EXPECT_EQ(first, again);
+}
+
+TEST(Determinism, FreshMachinesProduceIdenticalReports) {
+  // Two machines built from the same config with the same inputs: no
+  // state may leak between instances (scratch tables are per-port).
+  const std::int64_t n = 1 << 10;
+  const auto xs = alg::random_words(n, 5);
+  auto build_and_run = [&]() {
+    Machine m = Machine::hmm(32, 150, 4, 32, 32, n + 4);
+    m.global_memory().load(0, xs);
+    return alg::sum_hmm(m, n).report;
+  };
+  EXPECT_EQ(build_and_run(), build_and_run());
+}
+
+// The sweep pool must be invisible in the results: any job count yields
+// the same report for every grid point, in the same order.
+TEST(Determinism, SweepReportsIdenticalAcrossThreadCounts) {
+  std::vector<run::SweepJob> jobs;
+  for (std::int64_t g = 0; g < 12; ++g) {
+    run::SweepJob job;
+    job.config.width = 16;
+    job.config.threads_per_dmm = {32 + 16 * (g % 3)};
+    job.config.global = MemorySpec{1 << 12, 50 + 25 * (g % 4)};
+    job.config.record_trace = (g % 2) == 0;
+    job.kernel = [](ThreadCtx& t) -> SimTask {
+      Word acc = 0;
+      for (int i = 0; i < 4; ++i) {
+        acc += co_await t.read(MemorySpace::kGlobal,
+                               (t.thread_id() * 7 + i * 13) % (1 << 12));
+        co_await t.compute();
+      }
+      co_await t.barrier();
+      co_await t.write(MemorySpace::kGlobal, t.thread_id(), acc);
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  const std::vector<RunReport> serial = run::SweepRunner(1).run(jobs);
+  ASSERT_EQ(serial.size(), jobs.size());
+  for (const std::int64_t threads : {2, 8}) {
+    const std::vector<RunReport> pooled = run::SweepRunner(threads).run(jobs);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], pooled[i])
+          << "grid point " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, SweepForEachCoversEveryIndexExactlyOnce) {
+  for (const std::int64_t threads : {1, 2, 8}) {
+    std::vector<int> hits(100, 0);
+    run::SweepRunner(threads).for_each(
+        100, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i], 1) << "index " << i << " at " << threads
+                            << " threads";
+    }
+  }
+}
+
+TEST(Determinism, SweepPropagatesWorkerExceptions) {
+  EXPECT_THROW(
+      run::SweepRunner(4).for_each(
+          16,
+          [](std::int64_t i) {
+            if (i == 7) throw PreconditionError("boom at 7");
+          }),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,114 @@
+// ReadyQueue must pop in exactly the order the seed's
+// std::set<std::pair<Cycle, WarpId>> iterated: earliest clock first,
+// ties broken by the smallest warp id.  The engine's determinism (and
+// thus every makespan in the repo) rests on this order, so it is locked
+// here against a std::set oracle on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "core/rng.hpp"
+#include "machine/ready_queue.hpp"
+
+namespace hmm {
+namespace {
+
+TEST(ReadyQueue, StartsEmpty) {
+  ReadyQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ReadyQueue, PopsEarliestClockFirst) {
+  ReadyQueue q;
+  q.push(30, 0);
+  q.push(10, 1);
+  q.push(20, 2);
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{10, 1}));
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{20, 2}));
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{30, 0}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ReadyQueue, BreaksClockTiesBySmallestWarpId) {
+  ReadyQueue q;
+  q.push(5, 7);
+  q.push(5, 2);
+  q.push(5, 4);
+  q.push(5, 0);
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{5, 0}));
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{5, 2}));
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{5, 4}));
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{5, 7}));
+}
+
+TEST(ReadyQueue, ReserveDoesNotDisturbContents) {
+  ReadyQueue q;
+  q.push(1, 1);
+  q.reserve(1024);
+  q.push(0, 2);
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{0, 2}));
+  EXPECT_EQ(q.pop(), (std::pair<Cycle, WarpId>{1, 1}));
+}
+
+// Engine-shaped usage: every entry has a unique warp id at any moment (a
+// warp is requeued only after it is popped).  Random interleaving of
+// pushes and pops must match the set oracle exactly.
+TEST(ReadyQueueProperty, MatchesSetOracleOnRandomWorkloads) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    ReadyQueue q;
+    std::set<std::pair<Cycle, WarpId>> oracle;
+    WarpId next_warp = 0;
+    for (int step = 0; step < 400; ++step) {
+      const bool push = oracle.empty() || rng.next_below(3) != 0;
+      if (push) {
+        const Cycle clock = static_cast<Cycle>(rng.next_below(64));
+        const WarpId warp = next_warp++;
+        q.push(clock, warp);
+        oracle.insert({clock, warp});
+      } else {
+        ASSERT_FALSE(q.empty());
+        const auto got = q.pop();
+        const auto want = *oracle.begin();
+        oracle.erase(oracle.begin());
+        ASSERT_EQ(got, want) << "trial=" << trial << " step=" << step;
+      }
+      ASSERT_EQ(q.size(), oracle.size());
+    }
+    while (!oracle.empty()) {
+      const auto want = *oracle.begin();
+      oracle.erase(oracle.begin());
+      ASSERT_EQ(q.pop(), want);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// Re-queueing a popped warp at a later clock (the engine's actual
+// pattern) keeps the order correct.
+TEST(ReadyQueueProperty, RequeueAfterPopStaysOrdered) {
+  Rng rng(5);
+  ReadyQueue q;
+  std::set<std::pair<Cycle, WarpId>> oracle;
+  for (WarpId w = 0; w < 16; ++w) {
+    q.push(0, w);
+    oracle.insert({0, w});
+  }
+  for (int step = 0; step < 1000 && !oracle.empty(); ++step) {
+    const auto got = q.pop();
+    const auto want = *oracle.begin();
+    oracle.erase(oracle.begin());
+    ASSERT_EQ(got, want);
+    if (rng.next_below(4) != 0) {  // warp does more work at a later time
+      const Cycle later = got.first + 1 + static_cast<Cycle>(rng.next_below(8));
+      q.push(later, got.second);
+      oracle.insert({later, got.second});
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# tools/check.sh — the full verify loop:
+#
+#   1. Debug build with -fsanitize=address,undefined, whole test suite;
+#   2. Release build, whole test suite (the tier-1 gate of ROADMAP.md);
+#   3. the bench-smoke label (bench_engine_hotpath on a tiny grid),
+#      which also re-checks sweep determinism end to end.
+#
+# Usage: tools/check.sh [jobs]   (default: all cores)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== 1/3 Debug + ASan/UBSan =================================="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  > /dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "== 2/3 Release (tier-1 gate) ==============================="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== 3/3 bench smoke ========================================="
+ctest --test-dir build -L bench-smoke --output-on-failure
+
+echo "check.sh: all green"

@@ -1,18 +1,28 @@
 // hmmsim — command-line driver for the library.
 //
-//   hmmsim <algorithm> [--model umm|hmm] [--n N] [--m M] [--p P] [--w W]
-//          [--l L] [--d D] [--seed S] [--csv]
+//   hmmsim <algorithm> [--model umm|hmm] [--n N[,N...]] [--m M[,M...]]
+//          [--p P[,P...]] [--w W[,W...]] [--l L[,L...]] [--d D[,D...]]
+//          [--seed S] [--jobs J] [--csv]
 //
 // Algorithms: sum, scan, conv, sort, matmul (n = rows), match (m =
 // pattern length).  Prints the result summary, simulated time and the
 // pipeline utilisation; --csv emits one machine-readable line instead.
 //
+// Every numeric option accepts a comma-separated list; giving more than
+// one value turns the invocation into a PARAMETER SWEEP over the
+// cartesian grid, evaluated across `--jobs` worker threads (grid points
+// are independent simulations, so any job count produces identical
+// rows).  Sweeps always emit CSV, one row per grid point in grid order.
+//
 // This is the "downstream user" entry point: measure a workload at any
-// (n, m, p, w, l, d) operating point without writing C++.
+// (n, m, p, w, l, d) operating point — or a whole grid of them — without
+// writing C++.
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "alg/convolution.hpp"
 #include "alg/matmul.hpp"
@@ -22,11 +32,13 @@
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
 #include "core/version.hpp"
+#include "run/sweep.hpp"
 
 using namespace hmm;
 
 namespace {
 
+/// One fully resolved operating point.
 struct Options {
   std::string algorithm;
   std::string model = "hmm";  // or "umm"
@@ -40,54 +52,124 @@ struct Options {
   bool csv = false;
 };
 
+/// The command line before grid expansion: each axis is a value list.
+struct Cli {
+  std::string algorithm;
+  std::string model = "hmm";
+  std::vector<std::int64_t> n = {1 << 16};
+  std::vector<std::int64_t> m = {32};
+  std::vector<std::int64_t> p = {2048};
+  std::vector<std::int64_t> w = {32};
+  std::vector<std::int64_t> l = {400};
+  std::vector<std::int64_t> d = {16};
+  std::uint64_t seed = 1;
+  std::int64_t jobs = 1;
+  bool csv = false;
+};
+
 int usage(const char* argv0) {
   std::printf(
       "hmm-sim %s — memory machine model simulator "
       "(Nakano, IPDPSW 2013)\n\n"
       "usage: %s <sum|scan|conv|sort|matmul|match> [options]\n"
       "  --model umm|hmm   machine to run on (default hmm)\n"
-      "  --n N             input size / matrix rows (default 65536)\n"
-      "  --m M             filter / pattern length (default 32)\n"
-      "  --p P             total threads (default 2048)\n"
-      "  --w W             width / warp size (default 32)\n"
-      "  --l L             global memory latency (default 400)\n"
-      "  --d D             number of DMMs for --model hmm (default 16)\n"
+      "  --n N[,N...]      input size / matrix rows (default 65536)\n"
+      "  --m M[,M...]      filter / pattern length (default 32)\n"
+      "  --p P[,P...]      total threads (default 2048)\n"
+      "  --w W[,W...]      width / warp size (default 32)\n"
+      "  --l L[,L...]      global memory latency (default 400)\n"
+      "  --d D[,D...]      number of DMMs for --model hmm (default 16)\n"
       "  --seed S          workload seed (default 1)\n"
+      "  --jobs J          worker threads for sweeps; 0 = all cores "
+      "(default 1)\n"
       "  --csv             one CSV line: algorithm,model,n,m,p,w,l,d,"
-      "time,global_stages\n",
-      kVersionString, argv0);
+      "time,global_stages\n\n"
+      "Comma-separated values sweep the cartesian grid in parallel, e.g.\n"
+      "  %s sum --n 4096,65536 --l 100,400 --jobs 0\n",
+      kVersionString, argv0, argv0);
   return 2;
 }
 
-bool parse(int argc, char** argv, Options& opt) {
+bool parse_list(const char* s, std::vector<std::int64_t>& out) {
+  out.clear();
+  std::string token;
+  for (const char* q = s;; ++q) {
+    if (*q == ',' || *q == '\0') {
+      if (token.empty()) return false;
+      std::int64_t value = 0;
+      const auto [end, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec != std::errc{} || end != token.data() + token.size()) return false;
+      out.push_back(value);
+      token.clear();
+      if (*q == '\0') break;
+    } else {
+      token.push_back(*q);
+    }
+  }
+  return !out.empty();
+}
+
+bool parse(int argc, char** argv, Cli& cli) {
   if (argc < 2) return false;
-  opt.algorithm = argv[1];
+  cli.algorithm = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (a == "--csv") {
-      opt.csv = true;
+      cli.csv = true;
     } else if (a == "--model") {
       const char* v = next();
       if (!v) return false;
-      opt.model = v;
+      cli.model = v;
     } else {
       const char* v = next();
       if (!v) return false;
-      const std::int64_t x = std::atoll(v);
-      if (a == "--n") opt.n = x;
-      else if (a == "--m") opt.m = x;
-      else if (a == "--p") opt.p = x;
-      else if (a == "--w") opt.w = x;
-      else if (a == "--l") opt.l = x;
-      else if (a == "--d") opt.d = x;
-      else if (a == "--seed") opt.seed = static_cast<std::uint64_t>(x);
+      std::vector<std::int64_t>* axis = nullptr;
+      if (a == "--n") axis = &cli.n;
+      else if (a == "--m") axis = &cli.m;
+      else if (a == "--p") axis = &cli.p;
+      else if (a == "--w") axis = &cli.w;
+      else if (a == "--l") axis = &cli.l;
+      else if (a == "--d") axis = &cli.d;
+      else if (a == "--seed" || a == "--jobs") {
+        std::vector<std::int64_t> one;
+        if (!parse_list(v, one) || one.size() != 1) return false;
+        if (a == "--seed") cli.seed = static_cast<std::uint64_t>(one[0]);
+        else cli.jobs = one[0];
+      }
       else return false;
+      if (axis && !parse_list(v, *axis)) return false;
     }
   }
-  return opt.model == "umm" || opt.model == "hmm";
+  return (cli.model == "umm" || cli.model == "hmm") && cli.jobs >= 0;
+}
+
+/// Cartesian grid in row-major (n, m, p, w, l, d) order.
+std::vector<Options> expand_grid(const Cli& cli) {
+  std::vector<Options> grid;
+  for (std::int64_t n : cli.n)
+    for (std::int64_t m : cli.m)
+      for (std::int64_t p : cli.p)
+        for (std::int64_t w : cli.w)
+          for (std::int64_t l : cli.l)
+            for (std::int64_t d : cli.d) {
+              Options o;
+              o.algorithm = cli.algorithm;
+              o.model = cli.model;
+              o.n = n;
+              o.m = m;
+              o.p = p;
+              o.w = w;
+              o.l = l;
+              o.d = d;
+              o.seed = cli.seed;
+              o.csv = cli.csv;
+              grid.push_back(std::move(o));
+            }
+  return grid;
 }
 
 struct Outcome {
@@ -185,30 +267,55 @@ Outcome run_algorithm(const Options& o) {
 
 }  // namespace
 
+void print_csv_row(const Options& opt, const Outcome& out) {
+  std::printf("%s,%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+              opt.algorithm.c_str(), opt.model.c_str(),
+              static_cast<long long>(opt.n), static_cast<long long>(opt.m),
+              static_cast<long long>(opt.p), static_cast<long long>(opt.w),
+              static_cast<long long>(opt.l), static_cast<long long>(opt.d),
+              static_cast<long long>(out.time),
+              static_cast<long long>(out.global_stages));
+}
+
 int main(int argc, char** argv) {
-  Options opt;
-  if (!parse(argc, argv, opt)) return usage(argv[0]);
+  Cli cli;
+  if (!parse(argc, argv, cli)) return usage(argv[0]);
   try {
-    const Outcome out = run_algorithm(opt);
-    if (opt.csv) {
-      std::printf("%s,%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
-                  opt.algorithm.c_str(), opt.model.c_str(),
-                  static_cast<long long>(opt.n), static_cast<long long>(opt.m),
-                  static_cast<long long>(opt.p), static_cast<long long>(opt.w),
-                  static_cast<long long>(opt.l), static_cast<long long>(opt.d),
-                  static_cast<long long>(out.time),
-                  static_cast<long long>(out.global_stages));
-    } else {
-      std::printf("%s on %s(n=%lld, m=%lld, p=%lld, w=%lld, l=%lld, d=%lld)\n",
-                  opt.algorithm.c_str(), opt.model.c_str(),
-                  static_cast<long long>(opt.n), static_cast<long long>(opt.m),
-                  static_cast<long long>(opt.p), static_cast<long long>(opt.w),
-                  static_cast<long long>(opt.l),
-                  static_cast<long long>(opt.d));
-      std::printf("  %s\n", out.summary.c_str());
-      std::printf("  time: %lld time units, global pipeline stages: %lld\n",
-                  static_cast<long long>(out.time),
-                  static_cast<long long>(out.global_stages));
+    const std::vector<Options> grid = expand_grid(cli);
+    if (grid.size() == 1) {
+      const Options& opt = grid.front();
+      const Outcome out = run_algorithm(opt);
+      if (opt.csv) {
+        print_csv_row(opt, out);
+      } else {
+        std::printf(
+            "%s on %s(n=%lld, m=%lld, p=%lld, w=%lld, l=%lld, d=%lld)\n",
+            opt.algorithm.c_str(), opt.model.c_str(),
+            static_cast<long long>(opt.n), static_cast<long long>(opt.m),
+            static_cast<long long>(opt.p), static_cast<long long>(opt.w),
+            static_cast<long long>(opt.l), static_cast<long long>(opt.d));
+        std::printf("  %s\n", out.summary.c_str());
+        std::printf("  time: %lld time units, global pipeline stages: %lld\n",
+                    static_cast<long long>(out.time),
+                    static_cast<long long>(out.global_stages));
+      }
+      return 0;
+    }
+
+    // Sweep: evaluate every grid point across the pool, then print rows
+    // in grid order (results are deterministic at any job count).
+    std::vector<Outcome> outcomes(grid.size());
+    const run::SweepRunner pool(cli.jobs);
+    pool.for_each(static_cast<std::int64_t>(grid.size()),
+                  [&](std::int64_t i) {
+                    outcomes[static_cast<std::size_t>(i)] =
+                        run_algorithm(grid[static_cast<std::size_t>(i)]);
+                  });
+    if (!cli.csv) {
+      std::printf("algorithm,model,n,m,p,w,l,d,time,global_stages\n");
+    }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      print_csv_row(grid[i], outcomes[i]);
     }
     return 0;
   } catch (const std::exception& e) {
