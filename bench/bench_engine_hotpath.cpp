@@ -4,14 +4,18 @@
 //
 //   bench_engine_hotpath [--smoke] [--jobs J] [--out PATH]
 //
-// Three measurements:
+// Four measurements:
 //   1. single-run hot path — repeated HMM sum runs; reports
 //      warp-rounds/sec (engine scheduling throughput) and
 //      memory-batches/sec (pricing + pipeline throughput);
-//   2. sweep scaling — the same grid of independent UMM sum points
+//   2. checker overhead — the same runs with an AccessChecker attached;
+//      reports checker-on seconds/run and the on/off ratio.  The
+//      checker-OFF number is the guard: a detached observer must cost
+//      one null pointer check per call site and nothing else;
+//   3. sweep scaling — the same grid of independent UMM sum points
 //      evaluated serially (jobs=1) and across a thread pool (jobs=J,
 //      default 8); reports wall seconds and the speedup;
-//   3. determinism — asserts the serial and parallel sweeps produced
+//   4. determinism — asserts the serial and parallel sweeps produced
 //      identical reports (exits nonzero otherwise).
 //
 // --smoke shrinks everything to a grid that finishes in well under a
@@ -25,6 +29,7 @@
 
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
+#include "analysis/checker.hpp"
 #include "core/version.hpp"
 #include "run/sweep.hpp"
 
@@ -81,6 +86,50 @@ SingleRunResult measure_single_run(std::int64_t n, std::int64_t d,
       static_cast<double>(r.warp_rounds) / r.seconds_per_run;
   r.memory_batches_per_sec =
       static_cast<double>(r.memory_batches) / r.seconds_per_run;
+  return r;
+}
+
+struct CheckerOverheadResult {
+  double seconds_per_run_off = 0.0;  // observer detached
+  double seconds_per_run_on = 0.0;   // AccessChecker attached
+  double overhead_ratio = 0.0;       // on / off
+  std::int64_t findings = 0;         // must be 0 on this clean workload
+};
+
+/// The single-run workload with and without an attached AccessChecker on
+/// the SAME machine, interleaved run-for-run so both sides see the same
+/// cache and allocator state.
+CheckerOverheadResult measure_checker_overhead(std::int64_t n,
+                                               std::int64_t d,
+                                               std::int64_t pd,
+                                               std::int64_t w, Cycle l,
+                                               std::int64_t reps) {
+  const auto xs = alg::random_words(n, 1);
+  Machine machine = Machine::hmm(w, l, d, pd, std::max(pd, d), n + d);
+  machine.global_memory().load(0, xs);
+  analysis::AccessChecker checker(machine);
+  checker.declare_initialized(MemorySpace::kGlobal, 0, n);
+
+  alg::sum_hmm(machine, n);  // warm-up, observer detached
+
+  CheckerOverheadResult r;
+  double off = 0.0, on = 0.0;
+  for (std::int64_t i = 0; i < reps; ++i) {
+    machine.set_observer(nullptr);
+    const auto t_off = Clock::now();
+    alg::sum_hmm(machine, n);
+    off += seconds_since(t_off);
+
+    machine.set_observer(&checker);
+    const auto t_on = Clock::now();
+    alg::sum_hmm(machine, n);
+    on += seconds_since(t_on);
+  }
+  machine.set_observer(nullptr);
+  r.seconds_per_run_off = off / static_cast<double>(reps);
+  r.seconds_per_run_on = on / static_cast<double>(reps);
+  r.overhead_ratio = r.seconds_per_run_on / r.seconds_per_run_off;
+  r.findings = checker.total_count();
   return r;
 }
 
@@ -162,6 +211,14 @@ int run_bench(int argc, char** argv) {
       static_cast<long long>(n_single), 1e3 * single.seconds_per_run,
       single.warp_rounds_per_sec, single.memory_batches_per_sec);
 
+  const CheckerOverheadResult check =
+      measure_checker_overhead(n_single, 16, 128, 32, 400, reps);
+  std::printf(
+      "checker    : off %.3f ms/run, on %.3f ms/run, overhead %.2fx, "
+      "findings %lld\n",
+      1e3 * check.seconds_per_run_off, 1e3 * check.seconds_per_run_on,
+      check.overhead_ratio, static_cast<long long>(check.findings));
+
   const std::int64_t grid = smoke ? 8 : 48;
   const std::int64_t n_sweep = smoke ? (1 << 12) : (1 << 15);
   const SweepResult sweep = measure_sweep(grid, n_sweep, jobs);
@@ -195,6 +252,13 @@ int run_bench(int argc, char** argv) {
       "    \"memory_batches_per_sec\": %.6g,\n"
       "    \"makespan_time_units\": %lld\n"
       "  },\n"
+      "  \"checker_overhead\": {\n"
+      "    \"workload\": \"hmm_sum\",\n"
+      "    \"seconds_per_run_off\": %.6g,\n"
+      "    \"seconds_per_run_on\": %.6g,\n"
+      "    \"overhead_ratio\": %.6g,\n"
+      "    \"findings\": %lld\n"
+      "  },\n"
       "  \"sweep\": {\n"
       "    \"workload\": \"umm_sum_grid\",\n"
       "    \"grid_points\": %lld,\n"
@@ -212,6 +276,8 @@ int run_bench(int argc, char** argv) {
       static_cast<long long>(single.memory_batches),
       single.memory_batches_per_sec,
       static_cast<long long>(single.makespan),
+      check.seconds_per_run_off, check.seconds_per_run_on,
+      check.overhead_ratio, static_cast<long long>(check.findings),
       static_cast<long long>(sweep.grid_points), sweep.serial_seconds,
       static_cast<long long>(sweep.parallel_jobs), sweep.parallel_seconds,
       sweep.speedup, sweep.deterministic ? "true" : "false");
@@ -220,6 +286,11 @@ int run_bench(int argc, char** argv) {
 
   if (!sweep.deterministic) {
     std::fprintf(stderr, "FATAL: sweep results depend on the job count\n");
+    return 1;
+  }
+  if (check.findings != 0) {
+    std::fprintf(stderr,
+                 "FATAL: checker flagged the clean benchmark workload\n");
     return 1;
   }
   return 0;

@@ -66,6 +66,24 @@ std::int64_t PermutationSchedule::destination(std::int64_t round,
   return perm_[static_cast<std::size_t>(element(round, lane))];
 }
 
+MachinePermutation permute_mm_naive(Machine& machine,
+                                    std::span<const std::int64_t> perm) {
+  const auto n = static_cast<std::int64_t>(perm.size());
+  check_permutation(perm);
+  HMM_REQUIRE(2 * n <= machine.shared_memory(0).size(),
+              "permutation: shared memory must hold 2n cells");
+
+  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
+    const std::int64_t p = t.num_threads();
+    for (Address i = t.thread_id(); i < n; i += p) {
+      const Word v = co_await t.read(MemorySpace::kShared, i);
+      co_await t.write(MemorySpace::kShared,
+                       n + perm[static_cast<std::size_t>(i)], v);
+    }
+  });
+  return {machine.shared_memory(0).dump(n, n), std::move(report)};
+}
+
 MachinePermutation permute_dmm_naive(std::span<const Word> input,
                                      std::span<const std::int64_t> perm,
                                      std::int64_t threads, std::int64_t width,
@@ -73,16 +91,30 @@ MachinePermutation permute_dmm_naive(std::span<const Word> input,
   const auto n = static_cast<std::int64_t>(input.size());
   HMM_REQUIRE(static_cast<std::int64_t>(perm.size()) == n,
               "permutation length must match input length");
-  check_permutation(perm);
-
   Machine machine = Machine::dmm(width, latency, threads, 2 * n);
   machine.shared_memory(0).load(0, input);
+  return permute_mm_naive(machine, perm);
+}
+
+MachinePermutation permute_mm_offline(Machine& machine,
+                                      const PermutationSchedule& schedule) {
+  const std::int64_t n = schedule.n();
+  HMM_REQUIRE(machine.width() == schedule.width(),
+              "offline permutation: machine width must match the schedule");
+  HMM_REQUIRE(2 * n <= machine.shared_memory(0).size(),
+              "offline permutation: shared memory must hold 2n cells");
+
   RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
-    const std::int64_t p = t.num_threads();
-    for (Address i = t.thread_id(); i < n; i += p) {
-      const Word v = co_await t.read(MemorySpace::kShared, i);
+    const std::int64_t lane = t.lane();
+    const std::int64_t nwarps = t.num_threads() / t.width();
+    // Warp k executes matchings k, k + nwarps, ...: every batch touches
+    // w distinct source banks (reads) and w distinct destination banks
+    // (writes) — one stage each, by construction.
+    for (std::int64_t r = t.warp_id(); r < schedule.rounds(); r += nwarps) {
+      const Word v = co_await t.read(MemorySpace::kShared,
+                                     schedule.element(r, lane));
       co_await t.write(MemorySpace::kShared,
-                       n + perm[static_cast<std::size_t>(i)], v);
+                       n + schedule.destination(r, lane), v);
     }
   });
   return {machine.shared_memory(0).dump(n, n), std::move(report)};
@@ -100,21 +132,7 @@ MachinePermutation permute_dmm_offline(std::span<const Word> input,
                                                        latency));
   Machine machine = Machine::dmm(w, latency, warps * w, 2 * n);
   machine.shared_memory(0).load(0, input);
-
-  RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
-    const std::int64_t lane = t.lane();
-    const std::int64_t nwarps = t.num_threads() / t.width();
-    // Warp k executes matchings k, k + nwarps, ...: every batch touches
-    // w distinct source banks (reads) and w distinct destination banks
-    // (writes) — one stage each, by construction.
-    for (std::int64_t r = t.warp_id(); r < schedule.rounds(); r += nwarps) {
-      const Word v = co_await t.read(MemorySpace::kShared,
-                                     schedule.element(r, lane));
-      co_await t.write(MemorySpace::kShared,
-                       n + schedule.destination(r, lane), v);
-    }
-  });
-  return {machine.shared_memory(0).dump(n, n), std::move(report)};
+  return permute_mm_offline(machine, schedule);
 }
 
 std::vector<std::int64_t> bank_crushing_permutation(std::int64_t n,

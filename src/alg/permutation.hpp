@@ -67,6 +67,15 @@ MachinePermutation permute_dmm_offline(std::span<const Word> input,
                                        const PermutationSchedule& schedule,
                                        Cycle latency);
 
+/// Machine-taking cores (e.g. for attaching an AccessChecker before the
+/// run): the n input words must already sit at shared [0, n); the result
+/// is written to [n, 2n).  The machine width must match the schedule /
+/// divide n as for the span-taking variants.
+MachinePermutation permute_mm_naive(Machine& machine,
+                                    std::span<const std::int64_t> perm);
+MachinePermutation permute_mm_offline(Machine& machine,
+                                      const PermutationSchedule& schedule);
+
 /// Adversarial permutation that routes every warp-aligned block of w
 /// consecutive sources to ONE destination bank — the worst case for the
 /// naive kernel (w-way write conflicts on every batch).

@@ -40,8 +40,6 @@ MachineSort sort_standalone(std::span<const Word> input, std::int64_t threads,
                             std::int64_t width, Cycle latency,
                             MemorySpace space) {
   const auto n = static_cast<std::int64_t>(input.size());
-  HMM_REQUIRE(n >= 1 && is_pow2(n), "bitonic sort: n must be a power of two");
-
   Machine machine = space == MemorySpace::kShared
                         ? Machine::dmm(width, latency, threads, n)
                         : Machine::umm(width, latency, threads, n);
@@ -49,6 +47,17 @@ MachineSort sort_standalone(std::span<const Word> input, std::int64_t threads,
                         ? machine.shared_memory(0)
                         : machine.global_memory();
   mem.load(0, input);
+  return sort_mm(machine, space, n);
+}
+
+}  // namespace
+
+MachineSort sort_mm(Machine& machine, MemorySpace space, std::int64_t n) {
+  HMM_REQUIRE(n >= 1 && is_pow2(n), "bitonic sort: n must be a power of two");
+  BankMemory& mem = space == MemorySpace::kShared
+                        ? machine.shared_memory(0)
+                        : machine.global_memory();
+  HMM_REQUIRE(n <= mem.size(), "bitonic sort: n exceeds memory size");
 
   RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
     const std::int64_t p = t.num_threads();
@@ -62,8 +71,6 @@ MachineSort sort_standalone(std::span<const Word> input, std::int64_t threads,
   });
   return {mem.dump(0, n), std::move(report)};
 }
-
-}  // namespace
 
 MachineSort sort_dmm(std::span<const Word> input, std::int64_t threads,
                      std::int64_t width, Cycle latency) {
@@ -82,15 +89,25 @@ MachineSort sort_hmm(std::span<const Word> input, std::int64_t num_dmms,
                      Cycle latency) {
   const auto n = static_cast<std::int64_t>(input.size());
   const std::int64_t d = num_dmms;
+  HMM_REQUIRE(d >= 1 && is_pow2(d) && n >= d && n % d == 0,
+              "bitonic sort: d must be a power of two dividing n");
+  Machine machine =
+      Machine::hmm(width, latency, d, threads_per_dmm, n / d, n);
+  machine.global_memory().load(0, input);
+  return sort_hmm(machine, n);
+}
+
+MachineSort sort_hmm(Machine& machine, std::int64_t n) {
+  const std::int64_t d = machine.num_dmms();
   HMM_REQUIRE(n >= 1 && is_pow2(n), "bitonic sort: n must be a power of two");
   HMM_REQUIRE(d >= 1 && is_pow2(d) && n % d == 0,
               "bitonic sort: d must be a power of two dividing n");
   const std::int64_t c = n / d;  // aligned block per DMM
   HMM_REQUIRE(is_pow2(c), "bitonic sort: n/d must be a power of two");
-
-  Machine machine =
-      Machine::hmm(width, latency, d, threads_per_dmm, c, n);
-  machine.global_memory().load(0, input);
+  HMM_REQUIRE(c <= machine.shared_memory(0).size(),
+              "bitonic sort: n/d exceeds shared memory size");
+  HMM_REQUIRE(n <= machine.global_memory().size(),
+              "bitonic sort: n exceeds global memory size");
 
   RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
     const std::int64_t self = t.local_thread_id();

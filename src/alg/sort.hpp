@@ -38,11 +38,19 @@ MachineSort sort_dmm(std::span<const Word> input, std::int64_t threads,
 MachineSort sort_umm(std::span<const Word> input, std::int64_t threads,
                      std::int64_t width, Cycle latency);
 
+/// Same, on an existing machine (e.g. one carrying an AccessChecker):
+/// sorts the n words the caller loaded at [0, n) of `space` in place.
+MachineSort sort_mm(Machine& machine, MemorySpace space, std::int64_t n);
+
 /// Hybrid HMM bitonic sort: each DMM owns the aligned n/d block of the
 /// array; stages with stride < n/d run in shared memory, cross-block
 /// stages run on global memory.
 MachineSort sort_hmm(std::span<const Word> input, std::int64_t num_dmms,
                      std::int64_t threads_per_dmm, std::int64_t width,
                      Cycle latency);
+
+/// Same, on an existing HMM with the input loaded at global [0, n);
+/// shared memories must hold n/d cells.
+MachineSort sort_hmm(Machine& machine, std::int64_t n);
 
 }  // namespace hmm::alg

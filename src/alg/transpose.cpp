@@ -14,13 +14,11 @@ void check_matrix(std::span<const Word> matrix, std::int64_t rows) {
 
 }  // namespace
 
-MachineTranspose transpose_dmm_naive(std::span<const Word> matrix,
-                                     std::int64_t rows, std::int64_t threads,
-                                     std::int64_t width, Cycle latency) {
-  check_matrix(matrix, rows);
+MachineTranspose transpose_mm_naive(Machine& machine, std::int64_t rows) {
+  HMM_REQUIRE(rows >= 1, "transpose: rows must be >= 1");
   const std::int64_t cells = rows * rows;
-  Machine machine = Machine::dmm(width, latency, threads, 2 * cells);
-  machine.shared_memory(0).load(0, matrix);
+  HMM_REQUIRE(2 * cells <= machine.shared_memory(0).size(),
+              "transpose: shared memory must hold 2 rows^2 cells");
   const Address out = cells;
 
   RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
@@ -36,15 +34,22 @@ MachineTranspose transpose_dmm_naive(std::span<const Word> matrix,
   return {machine.shared_memory(0).dump(out, cells), std::move(report)};
 }
 
-MachineTranspose transpose_dmm_skewed(std::span<const Word> matrix,
-                                      std::int64_t rows, std::int64_t threads,
-                                      std::int64_t width, Cycle latency) {
+MachineTranspose transpose_dmm_naive(std::span<const Word> matrix,
+                                     std::int64_t rows, std::int64_t threads,
+                                     std::int64_t width, Cycle latency) {
   check_matrix(matrix, rows);
-  HMM_REQUIRE(rows % width == 0,
+  Machine machine = Machine::dmm(width, latency, threads, 2 * rows * rows);
+  machine.shared_memory(0).load(0, matrix);
+  return transpose_mm_naive(machine, rows);
+}
+
+MachineTranspose transpose_mm_skewed(Machine& machine, std::int64_t rows) {
+  HMM_REQUIRE(rows >= 1, "transpose: rows must be >= 1");
+  HMM_REQUIRE(rows % machine.width() == 0,
               "skewed transpose: rows must be a multiple of the width");
   const std::int64_t cells = rows * rows;
-  Machine machine = Machine::dmm(width, latency, threads, 3 * cells);
-  machine.shared_memory(0).load(0, matrix);
+  HMM_REQUIRE(3 * cells <= machine.shared_memory(0).size(),
+              "skewed transpose: shared memory must hold 3 rows^2 cells");
   const Address skew = cells, out = 2 * cells;
 
   RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
@@ -69,6 +74,17 @@ MachineTranspose transpose_dmm_skewed(std::span<const Word> matrix,
     }
   });
   return {machine.shared_memory(0).dump(out, cells), std::move(report)};
+}
+
+MachineTranspose transpose_dmm_skewed(std::span<const Word> matrix,
+                                      std::int64_t rows, std::int64_t threads,
+                                      std::int64_t width, Cycle latency) {
+  check_matrix(matrix, rows);
+  HMM_REQUIRE(rows % width == 0,
+              "skewed transpose: rows must be a multiple of the width");
+  Machine machine = Machine::dmm(width, latency, threads, 3 * rows * rows);
+  machine.shared_memory(0).load(0, matrix);
+  return transpose_mm_skewed(machine, rows);
 }
 
 }  // namespace hmm::alg

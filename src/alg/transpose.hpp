@@ -38,4 +38,11 @@ MachineTranspose transpose_dmm_skewed(std::span<const Word> matrix,
                                       std::int64_t rows, std::int64_t threads,
                                       std::int64_t width, Cycle latency);
 
+/// Machine-taking cores (e.g. for attaching an AccessChecker before the
+/// run): the rows x rows input must already sit at shared [0, rows^2);
+/// naive writes its output at [rows^2, 2 rows^2), skewed stages through
+/// [rows^2, 2 rows^2) and writes output at [2 rows^2, 3 rows^2).
+MachineTranspose transpose_mm_naive(Machine& machine, std::int64_t rows);
+MachineTranspose transpose_mm_skewed(Machine& machine, std::int64_t rows);
+
 }  // namespace hmm::alg

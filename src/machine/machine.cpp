@@ -149,6 +149,8 @@ class Engine {
     std::int64_t active = 0;  // unfinished warps in this domain
     std::vector<WarpId> arrived;
     Cycle max_arrival = 0;
+    BarrierScope scope = BarrierScope::kDmm;  // identity, for observers
+    DmmId dmm = -1;                           // -1 for the machine domain
   };
 
   void launch_threads();
@@ -244,8 +246,10 @@ void Engine::launch_threads() {
                       BarrierDomain{});
   for (DmmId j = 0; j < topo.num_dmms(); ++j) {
     dmm_domains_[static_cast<std::size_t>(j)].active = topo.warps_on(j);
+    dmm_domains_[static_cast<std::size_t>(j)].dmm = j;
   }
   machine_domain_.active = topo.total_warps();
+  machine_domain_.scope = BarrierScope::kMachine;
 
   queue_.reserve(static_cast<std::size_t>(topo.total_warps()));
   batch_scratch_.reserve(static_cast<std::size_t>(topo.width()));
@@ -274,6 +278,7 @@ RunReport Engine::run() {
   launch_threads();
   report_.threads = machine_.num_threads();
   report_.warps = machine_.topology().total_warps();
+  if (machine_.observer_) machine_.observer_->on_run_begin(machine_);
 
   while (!queue_.empty()) {
     const auto [t, wid] = queue_.pop();
@@ -297,6 +302,7 @@ RunReport Engine::run() {
   for (const ExecUnit& e : exec_) {
     report_.exec.push_back(ExecStats{e.slots, e.next_free});
   }
+  if (machine_.observer_) machine_.observer_->on_run_end(report_);
   return std::move(report_);
 }
 
@@ -408,6 +414,7 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
                                            : AccessKind::kWrite,
         .address = op.address,
         .value = op.value,
+        .thread = w.first + i,
     });
     participants.push_back(w.first + i);
   }
@@ -425,6 +432,18 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
       exec_[static_cast<std::size_t>(w.dmm)].acquire(w.clock, 1);
   const PipelineSlot slot = port.pipeline.inject(
       issue, stages, static_cast<std::int64_t>(batch.size()));
+  if (machine_.observer_) {
+    machine_.observer_->on_memory_batch(MemoryBatchEvent{
+        .warp = w.id,
+        .dmm = w.dmm,
+        .space = space,
+        .dmm_pricing = port.dmm_pricing,
+        .issue = issue,
+        .stages = stages,
+        .batch = batch,
+        .profile = &profile,
+    });
+  }
   const ServicedBatch served = port.memory.service(batch);
 
   for (std::size_t i = 0; i < participants.size(); ++i) {
@@ -494,6 +513,9 @@ void Engine::finish_warp(WarpState& w) {
   HMM_ASSERT(!w.finished, "warp finished twice");
   w.finished = true;
   report_.makespan = std::max(report_.makespan, w.clock);
+  if (machine_.observer_) {
+    machine_.observer_->on_warp_finish(w.id, w.dmm, w.clock);
+  }
 
   BarrierDomain& dd = dmm_domains_[static_cast<std::size_t>(w.dmm)];
   --dd.active;
@@ -512,6 +534,14 @@ void Engine::release_if_complete(BarrierDomain& domain) {
 void Engine::release(BarrierDomain& domain) {
   const Cycle t = domain.max_arrival;
   ++report_.barrier_releases;
+  if (machine_.observer_) {
+    machine_.observer_->on_barrier_release(BarrierReleaseEvent{
+        .scope = domain.scope,
+        .dmm = domain.dmm,
+        .when = t,
+        .warps_released = static_cast<std::int64_t>(domain.arrived.size()),
+    });
+  }
   for (WarpId wid : domain.arrived) {
     WarpState& w = warps_[static_cast<std::size_t>(wid)];
     HMM_ASSERT(w.waiting, "released a warp that was not parked");

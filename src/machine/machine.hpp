@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "machine/observer.hpp"
 #include "machine/report.hpp"
 #include "machine/task.hpp"
 #include "machine/thread_ctx.hpp"
@@ -98,6 +99,14 @@ class Machine {
   /// are reset at the start of each run.
   RunReport run(const KernelFn& kernel);
 
+  // ---- observation (analysis/checker.hpp et al.) -----------------------
+  /// Attach `observer` to all subsequent runs (nullptr detaches).  The
+  /// observer is not owned and must outlive every run it observes; the
+  /// engine pays a single pointer null-check per event site when none is
+  /// attached (see machine/observer.hpp for the event contract).
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+  EngineObserver* observer() const { return observer_; }
+
  private:
   friend class Engine;
 
@@ -115,6 +124,7 @@ class Machine {
   Topology topology_;
   std::vector<Port> shared_;      // one per DMM when configured
   std::optional<Port> global_;
+  EngineObserver* observer_ = nullptr;  // not owned
 };
 
 }  // namespace hmm

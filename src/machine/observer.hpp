@@ -1,0 +1,76 @@
+// EngineObserver — a lightweight hook into the engine's scheduling loop.
+//
+// An observer attached to a Machine (Machine::set_observer) sees every
+// warp memory dispatch, every barrier release and every warp completion
+// of subsequent runs, in the engine's deterministic scheduling order.
+// That order is a valid serialisation of the simulated execution: events
+// are emitted in nondecreasing simulated time, every pre-barrier access
+// of a domain is emitted before the domain's release event, and every
+// post-barrier access after it.  Analysis tools (analysis/checker.hpp)
+// rely on exactly this property.
+//
+// Cost contract: with no observer attached the engine pays one pointer
+// null-check per round (bench_engine_hotpath tracks the checker-off
+// throughput so regressions are visible).  Observer callbacks run inline
+// in the engine loop; they must not re-enter the Machine.
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+#include "machine/op.hpp"
+#include "machine/report.hpp"
+#include "mm/batch_cost.hpp"
+#include "mm/request.hpp"
+
+namespace hmm {
+
+class Machine;
+
+/// One warp's memory dispatch: the batch it sent (with per-request thread
+/// attribution, see Request::thread) and the price the MMU charged.
+struct MemoryBatchEvent {
+  WarpId warp = 0;
+  DmmId dmm = 0;
+  MemorySpace space = MemorySpace::kShared;
+  bool dmm_pricing = false;        ///< true: bank pricing; false: groups
+  Cycle issue = 0;                 ///< cycle the warp instruction issued
+  std::int64_t stages = 0;         ///< priced pipeline stages of the batch
+  std::span<const Request> batch;  ///< valid only during the callback
+  const BatchProfile* profile = nullptr;  ///< full cost breakdown
+};
+
+/// A barrier domain released: every live warp of the scope arrived.
+struct BarrierReleaseEvent {
+  BarrierScope scope = BarrierScope::kDmm;
+  DmmId dmm = -1;  ///< owning DMM for kDmm scope; -1 for kMachine
+  Cycle when = 0;  ///< release time (max arrival over the domain)
+  std::int64_t warps_released = 0;
+};
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// A new Machine::run is starting.  Run boundaries are full
+  /// synchronisation points (a run only returns when every warp
+  /// finished), so observers tracking happens-before may treat this as a
+  /// machine-wide barrier.
+  virtual void on_run_begin(const Machine& machine) { (void)machine; }
+
+  virtual void on_memory_batch(const MemoryBatchEvent& event) {
+    (void)event;
+  }
+
+  virtual void on_barrier_release(const BarrierReleaseEvent& event) {
+    (void)event;
+  }
+
+  virtual void on_warp_finish(WarpId warp, DmmId dmm, Cycle when) {
+    (void)warp, (void)dmm, (void)when;
+  }
+
+  virtual void on_run_end(const RunReport& report) { (void)report; }
+};
+
+}  // namespace hmm

@@ -21,6 +21,8 @@ struct Request {
   AccessKind kind = AccessKind::kRead;
   Address address = 0;
   Word value = 0;  ///< payload for writes; ignored for reads
+  ThreadId thread = -1;  ///< machine-wide issuer id; -1 when synthesised
+                         ///< outside the engine (tests, cost probes)
 };
 
 /// All requests one warp sends in one dispatch.  May be empty (a warp in

@@ -1,0 +1,63 @@
+#include "report/findings.hpp"
+
+#include <string>
+
+namespace hmm {
+
+namespace {
+
+std::string space_cell(const analysis::Finding& f) {
+  if (f.space == MemorySpace::kShared) {
+    return "shared[" + std::to_string(f.dmm) + "]";
+  }
+  return "global";
+}
+
+std::string accessor_cell(ThreadId thread, WarpId warp, AccessKind kind) {
+  if (thread < 0) return "-";
+  return std::string(kind == AccessKind::kRead ? "R" : "W") + " t" +
+         std::to_string(thread) + "/w" + std::to_string(warp);
+}
+
+}  // namespace
+
+Table findings_table(const analysis::AccessChecker& checker) {
+  using analysis::FindingKind;
+  std::string title = "checker findings (";
+  title += std::to_string(checker.total_count()) + " total: ";
+  title += std::to_string(checker.count(FindingKind::kRace)) + " race, ";
+  title +=
+      std::to_string(checker.count(FindingKind::kOutOfBounds)) + " oob, ";
+  title += std::to_string(checker.count(FindingKind::kUninitializedRead)) +
+           " uninit, ";
+  title += std::to_string(checker.count(FindingKind::kWarpWriteWrite)) +
+           " warp-ww)";
+  Table t(std::move(title));
+  t.set_header({"kind", "space", "addr", "cycle", "access", "conflicts_with"});
+  for (const analysis::Finding& f : checker.findings()) {
+    t.add_row({analysis::to_string(f.kind), space_cell(f),
+               Table::cell(f.address), Table::cell(f.when),
+               accessor_cell(f.thread, f.warp, f.access),
+               accessor_cell(f.other_thread, f.other_warp, f.other_access)});
+  }
+  return t;
+}
+
+Table conflict_histogram_table(const analysis::AccessChecker& checker) {
+  const analysis::ConflictHistogram& shared = checker.shared_histogram();
+  const analysis::ConflictHistogram& global = checker.global_histogram();
+  Table t("access-cost histograms (batches per degree)");
+  t.set_header({"degree", "shared_bank_conflict", "global_address_groups"});
+  const std::int64_t top = std::max(shared.max_degree, global.max_degree);
+  auto at = [](const analysis::ConflictHistogram& h, std::int64_t degree) {
+    const auto i = static_cast<std::size_t>(degree);
+    return i < h.batches_by_degree.size() ? h.batches_by_degree[i] : 0;
+  };
+  for (std::int64_t degree = 1; degree <= top; ++degree) {
+    t.add_row({Table::cell(degree), Table::cell(at(shared, degree)),
+               Table::cell(at(global, degree))});
+  }
+  return t;
+}
+
+}  // namespace hmm

@@ -1,0 +1,20 @@
+// File-able rendering of AccessChecker results: a findings table and a
+// conflict-histogram table, both in the shared Table format (ASCII for
+// terminals, CSV for downstream tooling).  Used by `hmmsim --check` and
+// available to any harness that wants a durable checker report.
+#pragma once
+
+#include "analysis/checker.hpp"
+#include "report/table.hpp"
+
+namespace hmm {
+
+/// One row per stored finding (kind, location, accessors); the title
+/// carries the total counts, including findings beyond the storage cap.
+Table findings_table(const analysis::AccessChecker& checker);
+
+/// Bank-conflict degree (DMM pricing) and address-group count (UMM
+/// pricing) distributions: one row per degree with batch counts.
+Table conflict_histogram_table(const analysis::AccessChecker& checker);
+
+}  // namespace hmm

@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/checker.hpp"
+#include "machine/machine.hpp"
 #include "mm/batch_cost.hpp"
 
 namespace hmm {
@@ -77,6 +79,43 @@ TEST(StrideLaw, CoprimeStridesAreAlwaysConflictFreeOnTheDmm) {
       EXPECT_EQ(dmm_batch_stages(g, strided(w, s, 0)), 1)
           << "w=" << w << " s=" << s;
     }
+  }
+}
+
+// Seeded regression: run the strided kernel on a REAL machine under the
+// AccessChecker and pin the conflict histogram the static law predicts.
+// The engine's batch pricing and the checker's observed histogram must
+// agree on every batch — if either side drifts, this pins the drift.
+TEST(StrideLaw, CheckerHistogramMatchesGcdLawOnLiveMachine) {
+  constexpr std::int64_t w = 8, iters = 4;
+  for (std::int64_t s : {std::int64_t{1}, std::int64_t{2}, std::int64_t{3},
+                         std::int64_t{4}, std::int64_t{6}, std::int64_t{8}}) {
+    Machine machine = Machine::dmm(w, 10, w, w * s);  // one warp of w lanes
+    analysis::AccessChecker checker(machine);
+    checker.declare_initialized(MemorySpace::kShared, 0, w * s);
+    machine.set_observer(&checker);
+
+    machine.run([&](ThreadCtx& t) -> SimTask {
+      for (std::int64_t i = 0; i < iters; ++i) {
+        co_await t.read(MemorySpace::kShared, t.thread_id() * s);
+      }
+    });
+
+    const std::int64_t expected = std::gcd(s, w);
+    const analysis::ConflictHistogram& hist = checker.shared_histogram();
+    EXPECT_TRUE(checker.clean()) << "s=" << s;
+    // Every one of the iters dispatches lands at exactly gcd(s, w) —
+    // the same number dmm_batch_stages assigns the equivalent batch.
+    EXPECT_EQ(hist.batches, iters) << "s=" << s;
+    EXPECT_EQ(hist.max_degree, expected) << "s=" << s;
+    EXPECT_EQ(hist.batches_by_degree[static_cast<std::size_t>(expected)],
+              iters)
+        << "s=" << s;
+    EXPECT_EQ(dmm_batch_stages(MemoryGeometry(w), strided(w, s, 0)),
+              expected)
+        << "s=" << s;
+    EXPECT_TRUE(checker.certify_conflict_free(expected)) << "s=" << s;
+    EXPECT_EQ(checker.certify_conflict_free(1), expected == 1) << "s=" << s;
   }
 }
 

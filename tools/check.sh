@@ -4,7 +4,9 @@
 #   1. Debug build with -fsanitize=address,undefined, whole test suite;
 #   2. Release build, whole test suite (the tier-1 gate of ROADMAP.md);
 #   3. the bench-smoke label (bench_engine_hotpath on a tiny grid),
-#      which also re-checks sweep determinism end to end.
+#      which also re-checks sweep determinism end to end;
+#   4. clang-tidy over src/ with the repo .clang-tidy profile (skipped
+#      with a notice when clang-tidy is not installed; CI installs it).
 #
 # Usage: tools/check.sh [jobs]   (default: all cores)
 set -euo pipefail
@@ -12,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== 1/3 Debug + ASan/UBSan =================================="
+echo "== 1/4 Debug + ASan/UBSan =================================="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
@@ -20,12 +22,23 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "== 2/3 Release (tier-1 gate) ==============================="
+echo "== 2/4 Release (tier-1 gate) ==============================="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== 3/3 bench smoke ========================================="
+echo "== 3/4 bench smoke ========================================="
 ctest --test-dir build -L bench-smoke --output-on-failure
+
+echo "== 4/4 clang-tidy =========================================="
+if command -v clang-tidy > /dev/null 2>&1; then
+  # The Release build dir has a compile_commands.json when the cmake
+  # generator supports it; export explicitly to be sure.
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  find src -name '*.cpp' -print0 \
+    | xargs -0 -n 4 -P "${JOBS}" clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed; skipping lint stage (CI runs it)"
+fi
 
 echo "check.sh: all green"

@@ -31,7 +31,9 @@
 #include "alg/string_match.hpp"
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
+#include "analysis/checker.hpp"
 #include "core/version.hpp"
+#include "report/findings.hpp"
 #include "run/sweep.hpp"
 
 using namespace hmm;
@@ -65,7 +67,14 @@ struct Cli {
   std::uint64_t seed = 1;
   std::int64_t jobs = 1;
   bool csv = false;
+  bool check = false;
+  analysis::CheckerConfig check_cfg;
 };
+
+// hmmsim --check exit codes (documented in docs/ANALYSIS.md).
+constexpr int kExitRace = 3;
+constexpr int kExitBounds = 4;
+constexpr int kExitConflict = 5;
 
 int usage(const char* argv0) {
   std::printf(
@@ -83,11 +92,34 @@ int usage(const char* argv0) {
       "  --jobs J          worker threads for sweeps; 0 = all cores "
       "(default 1)\n"
       "  --csv             one CSV line: algorithm,model,n,m,p,w,l,d,"
-      "time,global_stages\n\n"
+      "time,global_stages\n"
+      "  --check[=KINDS]   run the access checker (sum and sort only;\n"
+      "                    single operating point).  KINDS is a comma list\n"
+      "                    of race,bounds,conflict (default: all).  Exit\n"
+      "                    codes: 3 race, 4 bounds/uninit, 5 certification\n"
+      "                    failure.\n\n"
       "Comma-separated values sweep the cartesian grid in parallel, e.g.\n"
       "  %s sum --n 4096,65536 --l 100,400 --jobs 0\n",
       kVersionString, argv0, argv0);
   return 2;
+}
+
+bool parse_check_kinds(const char* s, analysis::CheckerConfig& cfg) {
+  cfg.race = cfg.bounds = cfg.conflict = false;
+  std::string token;
+  for (const char* q = s;; ++q) {
+    if (*q == ',' || *q == '\0') {
+      if (token == "race") cfg.race = true;
+      else if (token == "bounds") cfg.bounds = true;
+      else if (token == "conflict") cfg.conflict = true;
+      else return false;
+      token.clear();
+      if (*q == '\0') break;
+    } else {
+      token.push_back(*q);
+    }
+  }
+  return cfg.race || cfg.bounds || cfg.conflict;
 }
 
 bool parse_list(const char* s, std::vector<std::int64_t>& out) {
@@ -120,6 +152,14 @@ bool parse(int argc, char** argv, Cli& cli) {
     };
     if (a == "--csv") {
       cli.csv = true;
+    } else if (a == "--check") {
+      cli.check = true;
+    } else if (a.rfind("--check=", 0) == 0) {
+      cli.check = true;
+      if (!parse_check_kinds(a.c_str() + std::strlen("--check="),
+                             cli.check_cfg)) {
+        return false;
+      }
     } else if (a == "--model") {
       const char* v = next();
       if (!v) return false;
@@ -265,6 +305,94 @@ Outcome run_algorithm(const Options& o) {
   return out;
 }
 
+/// --check driver: builds the algorithm's machine explicitly, attaches an
+/// AccessChecker before the run, prints the findings and histogram tables
+/// and maps the verdict to an exit code.
+int run_checked(const Options& o, const analysis::CheckerConfig& cfg) {
+  const bool hmm_model = o.model == "hmm";
+  const std::int64_t pd = hmm_model ? o.p / o.d : 0;
+  if (hmm_model && (o.p % o.d != 0 || pd < 1)) {
+    throw PreconditionError("--p must be a positive multiple of --d");
+  }
+  if (o.algorithm != "sum" && o.algorithm != "sort") {
+    throw PreconditionError("--check supports algorithms: sum, sort");
+  }
+
+  // Paper-optimal cost bounds to certify against: the sum kernels are
+  // fully conflict-free and coalesced (Theorem 7); every bitonic stage
+  // touches at most two contiguous runs per warp (sort.hpp), so degree
+  // and group counts up to 2 are on-model for sort.
+  const std::int64_t cert_bound = o.algorithm == "sum" ? 1 : 2;
+
+  Machine machine = [&] {
+    if (o.algorithm == "sum") {
+      return hmm_model ? Machine::hmm(o.w, o.l, o.d, pd,
+                                      std::max(pd, o.d), o.n + o.d)
+                       : Machine::umm(o.w, o.l, o.p, o.n);
+    }
+    if (hmm_model && (o.d < 1 || o.n % o.d != 0)) {
+      throw PreconditionError("sort --check: --d must divide --n");
+    }
+    return hmm_model ? Machine::hmm(o.w, o.l, o.d, pd, o.n / o.d, o.n)
+                     : Machine::umm(o.w, o.l, o.p, o.n);
+  }();
+
+  const auto xs = alg::random_words(o.n, o.seed);
+  machine.global_memory().load(0, xs);
+
+  analysis::AccessChecker checker(machine, cfg);
+  checker.declare_initialized(MemorySpace::kGlobal, 0, o.n);
+  machine.set_observer(&checker);
+
+  Outcome out;
+  if (o.algorithm == "sum") {
+    const auto r = hmm_model ? alg::sum_hmm(machine, o.n)
+                             : alg::sum_mm(machine, MemorySpace::kGlobal, 0,
+                                           o.n);
+    out.time = r.report.makespan;
+    out.summary = "sum = " + std::to_string(r.sum);
+  } else {
+    const auto r = hmm_model ? alg::sort_hmm(machine, o.n)
+                             : alg::sort_mm(machine, MemorySpace::kGlobal,
+                                            o.n);
+    out.time = r.report.makespan;
+    out.summary = "min = " + std::to_string(r.sorted.front()) +
+                  ", max = " + std::to_string(r.sorted.back());
+  }
+  machine.set_observer(nullptr);
+
+  std::printf("%s on %s(n=%lld, p=%lld, w=%lld, l=%lld, d=%lld) under "
+              "--check\n",
+              o.algorithm.c_str(), o.model.c_str(),
+              static_cast<long long>(o.n), static_cast<long long>(o.p),
+              static_cast<long long>(o.w), static_cast<long long>(o.l),
+              static_cast<long long>(o.d));
+  std::printf("  %s\n  time: %lld time units\n\n", out.summary.c_str(),
+              static_cast<long long>(out.time));
+  std::printf("%s\n", findings_table(checker).to_ascii().c_str());
+  if (cfg.conflict) {
+    std::printf("%s\n", conflict_histogram_table(checker).to_ascii().c_str());
+  }
+
+  using analysis::FindingKind;
+  if (checker.count(FindingKind::kRace) > 0) return kExitRace;
+  if (checker.count(FindingKind::kOutOfBounds) > 0 ||
+      checker.count(FindingKind::kUninitializedRead) > 0) {
+    return kExitBounds;
+  }
+  if (cfg.conflict) {
+    const bool certified = checker.certify_conflict_free(cert_bound) &&
+                           checker.certify_coalesced(cert_bound) &&
+                           checker.count(FindingKind::kWarpWriteWrite) == 0;
+    if (!certified) return kExitConflict;
+    std::printf("certified: conflict degree <= %lld, address groups <= "
+                "%lld, no warp write-write\n",
+                static_cast<long long>(cert_bound),
+                static_cast<long long>(cert_bound));
+  }
+  return 0;
+}
+
 }  // namespace
 
 void print_csv_row(const Options& opt, const Outcome& out) {
@@ -282,6 +410,15 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, cli)) return usage(argv[0]);
   try {
     const std::vector<Options> grid = expand_grid(cli);
+    if (cli.check) {
+      if (grid.size() != 1) {
+        std::fprintf(stderr,
+                     "error: --check needs a single operating point, not a "
+                     "sweep\n");
+        return 2;
+      }
+      return run_checked(grid.front(), cli.check_cfg);
+    }
     if (grid.size() == 1) {
       const Options& opt = grid.front();
       const Outcome out = run_algorithm(opt);
