@@ -4,7 +4,7 @@
 //
 //   bench_engine_hotpath [--smoke] [--jobs J] [--out PATH]
 //
-// Four measurements:
+// Five measurements:
 //   1. single-run hot path — repeated HMM sum runs; reports
 //      warp-rounds/sec (engine scheduling throughput) and
 //      memory-batches/sec (pricing + pipeline throughput);
@@ -12,10 +12,15 @@
 //      reports checker-on seconds/run and the on/off ratio.  The
 //      checker-OFF number is the guard: a detached observer must cost
 //      one null pointer check per call site and nothing else;
-//   3. sweep scaling — the same grid of independent UMM sum points
+//   3. telemetry overhead — the same runs with a RingBufferSink (trace
+//      channel on, bounded memory) and with a MetricsRegistry attached;
+//      the sink-OFF side doubles as the regression guard for the
+//      detached-observer hot path (exits nonzero when it drifts from the
+//      plain single-run baseline);
+//   4. sweep scaling — the same grid of independent UMM sum points
 //      evaluated serially (jobs=1) and across a thread pool (jobs=J,
 //      default 8); reports wall seconds and the speedup;
-//   4. determinism — asserts the serial and parallel sweeps produced
+//   5. determinism — asserts the serial and parallel sweeps produced
 //      identical reports (exits nonzero otherwise).
 //
 // --smoke shrinks everything to a grid that finishes in well under a
@@ -32,6 +37,8 @@
 #include "analysis/checker.hpp"
 #include "core/version.hpp"
 #include "run/sweep.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
 
 namespace hmm {
 namespace {
@@ -45,6 +52,7 @@ double seconds_since(Clock::time_point t0) {
 struct SingleRunResult {
   std::int64_t repetitions = 0;
   double seconds_per_run = 0.0;
+  double best_seconds_per_run = 0.0;  // min over reps; noise-robust
   std::int64_t warp_rounds = 0;      // per run: exec issue slots
   std::int64_t memory_batches = 0;   // per run: pipeline batches
   double warp_rounds_per_sec = 0.0;
@@ -72,16 +80,20 @@ SingleRunResult measure_single_run(std::int64_t n, std::int64_t d,
   }
   r.makespan = warm.makespan;
 
-  const auto t0 = Clock::now();
+  double elapsed = 0.0, best = 0.0;
   for (std::int64_t i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
     const auto run = alg::sum_hmm(machine, n);
+    const double t = seconds_since(t0);
+    elapsed += t;
+    if (i == 0 || t < best) best = t;
     if (run.report.makespan != warm.makespan) {
       std::fprintf(stderr, "FATAL: repeated runs disagree on makespan\n");
       std::exit(1);
     }
   }
-  const double elapsed = seconds_since(t0);
   r.seconds_per_run = elapsed / static_cast<double>(reps);
+  r.best_seconds_per_run = best;
   r.warp_rounds_per_sec =
       static_cast<double>(r.warp_rounds) / r.seconds_per_run;
   r.memory_batches_per_sec =
@@ -130,6 +142,71 @@ CheckerOverheadResult measure_checker_overhead(std::int64_t n,
   r.seconds_per_run_on = on / static_cast<double>(reps);
   r.overhead_ratio = r.seconds_per_run_on / r.seconds_per_run_off;
   r.findings = checker.total_count();
+  return r;
+}
+
+struct TelemetryOverheadResult {
+  double seconds_per_run_off = 0.0;      // no observer attached
+  double best_seconds_per_run_off = 0.0; // min over reps; noise-robust
+  double seconds_per_run_ring = 0.0;     // RingBufferSink (trace channel on)
+  double seconds_per_run_metrics = 0.0;  // MetricsRegistry (no trace)
+  double ring_ratio = 0.0;               // ring / off
+  double metrics_ratio = 0.0;            // metrics / off
+  std::int64_t ring_capacity = 0;
+  std::int64_t ring_kept = 0;            // events held after the last run
+  std::int64_t ring_dropped = 0;         // events evicted in the last run
+  std::int64_t conflict_degree_max = 0;  // sanity: sum is conflict-free
+};
+
+/// The single-run workload with a bounded trace sink and with a metrics
+/// registry, interleaved run-for-run against the detached baseline (same
+/// discipline as measure_checker_overhead).
+TelemetryOverheadResult measure_telemetry_overhead(std::int64_t n,
+                                                   std::int64_t d,
+                                                   std::int64_t pd,
+                                                   std::int64_t w, Cycle l,
+                                                   std::int64_t reps) {
+  const auto xs = alg::random_words(n, 1);
+  Machine machine = Machine::hmm(w, l, d, pd, std::max(pd, d), n + d);
+  machine.global_memory().load(0, xs);
+
+  TelemetryOverheadResult r;
+  r.ring_capacity = 4096;
+  telemetry::RingBufferSink ring(r.ring_capacity);
+  telemetry::MetricsRegistry metrics;
+
+  alg::sum_hmm(machine, n);  // warm-up, observer detached
+
+  double off = 0.0, best_off = 0.0, with_ring = 0.0, with_metrics = 0.0;
+  for (std::int64_t i = 0; i < reps; ++i) {
+    machine.set_observer(nullptr);
+    const auto t_off = Clock::now();
+    alg::sum_hmm(machine, n);
+    const double t = seconds_since(t_off);
+    off += t;
+    if (i == 0 || t < best_off) best_off = t;
+
+    machine.set_observer(&ring);
+    const auto t_ring = Clock::now();
+    alg::sum_hmm(machine, n);
+    with_ring += seconds_since(t_ring);
+
+    machine.set_observer(&metrics);
+    const auto t_metrics = Clock::now();
+    alg::sum_hmm(machine, n);
+    with_metrics += seconds_since(t_metrics);
+  }
+  machine.set_observer(nullptr);
+
+  r.seconds_per_run_off = off / static_cast<double>(reps);
+  r.best_seconds_per_run_off = best_off;
+  r.seconds_per_run_ring = with_ring / static_cast<double>(reps);
+  r.seconds_per_run_metrics = with_metrics / static_cast<double>(reps);
+  r.ring_ratio = r.seconds_per_run_ring / r.seconds_per_run_off;
+  r.metrics_ratio = r.seconds_per_run_metrics / r.seconds_per_run_off;
+  r.ring_kept = ring.size();
+  r.ring_dropped = ring.dropped();
+  r.conflict_degree_max = metrics.snapshot().conflict_degree.max_stages;
   return r;
 }
 
@@ -219,6 +296,18 @@ int run_bench(int argc, char** argv) {
       1e3 * check.seconds_per_run_off, 1e3 * check.seconds_per_run_on,
       check.overhead_ratio, static_cast<long long>(check.findings));
 
+  const TelemetryOverheadResult tele =
+      measure_telemetry_overhead(n_single, 16, 128, 32, 400, reps);
+  std::printf(
+      "telemetry  : off %.3f ms/run, ring(%lld) %.3f ms/run (%.2fx, kept "
+      "%lld, dropped %lld), metrics %.3f ms/run (%.2fx)\n",
+      1e3 * tele.seconds_per_run_off,
+      static_cast<long long>(tele.ring_capacity),
+      1e3 * tele.seconds_per_run_ring, tele.ring_ratio,
+      static_cast<long long>(tele.ring_kept),
+      static_cast<long long>(tele.ring_dropped),
+      1e3 * tele.seconds_per_run_metrics, tele.metrics_ratio);
+
   const std::int64_t grid = smoke ? 8 : 48;
   const std::int64_t n_sweep = smoke ? (1 << 12) : (1 << 15);
   const SweepResult sweep = measure_sweep(grid, n_sweep, jobs);
@@ -259,6 +348,17 @@ int run_bench(int argc, char** argv) {
       "    \"overhead_ratio\": %.6g,\n"
       "    \"findings\": %lld\n"
       "  },\n"
+      "  \"telemetry\": {\n"
+      "    \"workload\": \"hmm_sum\",\n"
+      "    \"seconds_per_run_off\": %.6g,\n"
+      "    \"seconds_per_run_ring\": %.6g,\n"
+      "    \"seconds_per_run_metrics\": %.6g,\n"
+      "    \"ring_ratio\": %.6g,\n"
+      "    \"metrics_ratio\": %.6g,\n"
+      "    \"ring_capacity\": %lld,\n"
+      "    \"ring_kept\": %lld,\n"
+      "    \"ring_dropped\": %lld\n"
+      "  },\n"
       "  \"sweep\": {\n"
       "    \"workload\": \"umm_sum_grid\",\n"
       "    \"grid_points\": %lld,\n"
@@ -278,6 +378,11 @@ int run_bench(int argc, char** argv) {
       static_cast<long long>(single.makespan),
       check.seconds_per_run_off, check.seconds_per_run_on,
       check.overhead_ratio, static_cast<long long>(check.findings),
+      tele.seconds_per_run_off, tele.seconds_per_run_ring,
+      tele.seconds_per_run_metrics, tele.ring_ratio, tele.metrics_ratio,
+      static_cast<long long>(tele.ring_capacity),
+      static_cast<long long>(tele.ring_kept),
+      static_cast<long long>(tele.ring_dropped),
       static_cast<long long>(sweep.grid_points), sweep.serial_seconds,
       static_cast<long long>(sweep.parallel_jobs), sweep.parallel_seconds,
       sweep.speedup, sweep.deterministic ? "true" : "false");
@@ -291,6 +396,27 @@ int run_bench(int argc, char** argv) {
   if (check.findings != 0) {
     std::fprintf(stderr,
                  "FATAL: checker flagged the clean benchmark workload\n");
+    return 1;
+  }
+  if (tele.conflict_degree_max != 1) {
+    std::fprintf(stderr,
+                 "FATAL: metrics registry saw conflict degree %lld on the "
+                 "conflict-free sum (expected 1)\n",
+                 static_cast<long long>(tele.conflict_degree_max));
+    return 1;
+  }
+  // Detached-observer guard: adding the telemetry subsystem must not tax
+  // runs with no observer attached.  Best-of-reps on both sides filters
+  // scheduler noise; smoke runs are still too short for stable ratios, so
+  // they get a loose bound while full runs use a tight one.
+  const double detached_ratio =
+      tele.best_seconds_per_run_off / single.best_seconds_per_run;
+  const double detached_limit = smoke ? 2.0 : 1.05;
+  if (detached_ratio > detached_limit) {
+    std::fprintf(stderr,
+                 "FATAL: detached-observer run is %.2fx the plain baseline "
+                 "(limit %.2fx) — the no-telemetry hot path regressed\n",
+                 detached_ratio, detached_limit);
     return 1;
   }
   return 0;

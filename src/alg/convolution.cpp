@@ -107,7 +107,8 @@ namespace {
 MachineConv convolution_standalone(std::span<const Word> a,
                                    std::span<const Word> x,
                                    std::int64_t threads, std::int64_t width,
-                                   Cycle latency, MemorySpace space) {
+                                   Cycle latency, MemorySpace space,
+                                   EngineObserver* observer) {
   const auto m = static_cast<std::int64_t>(a.size());
   const auto n = static_cast<std::int64_t>(x.size()) - m + 1;
   check_shapes(m, n, static_cast<std::int64_t>(x.size()));
@@ -120,6 +121,7 @@ MachineConv convolution_standalone(std::span<const Word> a,
   Machine machine = space == MemorySpace::kShared
                         ? Machine::dmm(width, latency, threads, size)
                         : Machine::umm(width, latency, threads, size);
+  machine.set_observer(observer);
   BankMemory& mem = space == MemorySpace::kShared
                         ? machine.shared_memory(0)
                         : machine.global_memory();
@@ -134,14 +136,14 @@ MachineConv convolution_dmm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t threads, std::int64_t width,
                             Cycle latency) {
   return convolution_standalone(a, x, threads, width, latency,
-                                MemorySpace::kShared);
+                                MemorySpace::kShared, nullptr);
 }
 
 MachineConv convolution_umm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t threads, std::int64_t width,
-                            Cycle latency) {
+                            Cycle latency, EngineObserver* observer) {
   return convolution_standalone(a, x, threads, width, latency,
-                                MemorySpace::kGlobal);
+                                MemorySpace::kGlobal, observer);
 }
 
 MachineConv convolution_hmm(Machine& machine, std::int64_t m,
@@ -266,7 +268,7 @@ MachineConv convolution_hmm_chunked(std::span<const Word> a,
 MachineConv convolution_hmm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t num_dmms,
                             std::int64_t threads_per_dmm, std::int64_t width,
-                            Cycle latency) {
+                            Cycle latency, EngineObserver* observer) {
   const auto m = static_cast<std::int64_t>(a.size());
   const auto n = static_cast<std::int64_t>(x.size()) - m + 1;
   check_shapes(m, n, static_cast<std::int64_t>(x.size()));
@@ -280,6 +282,7 @@ MachineConv convolution_hmm(std::span<const Word> a, std::span<const Word> x,
 
   Machine machine = Machine::hmm(width, latency, num_dmms, threads_per_dmm,
                                  shared_size, global_size);
+  machine.set_observer(observer);
   machine.global_memory().load(0, a);
   machine.global_memory().load(m, x);
   return convolution_hmm(machine, m, n);

@@ -59,7 +59,8 @@ MachineConv convolution_dmm(std::span<const Word> a, std::span<const Word> x,
                             Cycle latency);
 MachineConv convolution_umm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t threads, std::int64_t width,
-                            Cycle latency);
+                            Cycle latency,
+                            EngineObserver* observer = nullptr);
 
 /// Theorem 9 / Corollary 10: the three-step HMM convolution — stage a and
 /// the DMM's signal slice into shared memory, convolve there at latency
@@ -70,7 +71,8 @@ MachineConv convolution_hmm(Machine& machine, std::int64_t m, std::int64_t n);
 MachineConv convolution_hmm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t num_dmms,
                             std::int64_t threads_per_dmm, std::int64_t width,
-                            Cycle latency);
+                            Cycle latency,
+                            EngineObserver* observer = nullptr);
 
 /// Capacity-aware Theorem 9: real shared memories are tiny (§III: 48KB
 /// against a 2GB global memory), so a DMM whose n/d slice does not fit

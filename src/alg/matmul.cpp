@@ -41,10 +41,12 @@ BaselineMatmul matmul_sequential(std::span<const Word> a,
 
 MachineMatmul matmul_umm(std::span<const Word> a, std::span<const Word> b,
                          std::int64_t rows, std::int64_t threads,
-                         std::int64_t width, Cycle latency) {
+                         std::int64_t width, Cycle latency,
+                         EngineObserver* observer) {
   check_matrices(a, b, rows);
   const std::int64_t cells = rows * rows;
   Machine machine = Machine::umm(width, latency, threads, 3 * cells);
+  machine.set_observer(observer);
   const Address ax = 0, bx = cells, cx = 2 * cells;
   machine.global_memory().load(ax, a);
   machine.global_memory().load(bx, b);
@@ -74,7 +76,7 @@ MachineMatmul matmul_hmm_tiled(std::span<const Word> a,
                                std::int64_t num_dmms,
                                std::int64_t threads_per_dmm,
                                std::int64_t width, Cycle latency,
-                               std::int64_t tile) {
+                               std::int64_t tile, EngineObserver* observer) {
   check_matrices(a, b, rows);
   HMM_REQUIRE(tile >= 1 && rows % tile == 0,
               "matmul: tile must divide rows");
@@ -86,6 +88,7 @@ MachineMatmul matmul_hmm_tiled(std::span<const Word> a,
   const Address s_a = 0, s_b = t2, s_c = 2 * t2;
   Machine machine = Machine::hmm(width, latency, num_dmms, threads_per_dmm,
                                  3 * t2, 3 * cells);
+  machine.set_observer(observer);
   const Address ax = 0, bx = cells, cx = 2 * cells;
   machine.global_memory().load(ax, a);
   machine.global_memory().load(bx, b);

@@ -41,7 +41,8 @@ BaselineMatmul matmul_sequential(std::span<const Word> a,
 /// (A broadcasts per warp, B rows are contiguous) but reuse-free.
 MachineMatmul matmul_umm(std::span<const Word> a, std::span<const Word> b,
                          std::int64_t rows, std::int64_t threads,
-                         std::int64_t width, Cycle latency);
+                         std::int64_t width, Cycle latency,
+                         EngineObserver* observer = nullptr);
 
 /// Tiled kernel on the HMM: C is cut into tile x tile blocks dealt
 /// round-robin to the DMMs; each DMM sweeps the k-tiles, staging an
@@ -54,6 +55,7 @@ MachineMatmul matmul_hmm_tiled(std::span<const Word> a,
                                std::int64_t num_dmms,
                                std::int64_t threads_per_dmm,
                                std::int64_t width, Cycle latency,
-                               std::int64_t tile);
+                               std::int64_t tile,
+                               EngineObserver* observer = nullptr);
 
 }  // namespace hmm::alg

@@ -55,13 +55,14 @@ BaselineScan prefix_sums_pram(std::span<const Word> input,
 MachineScan prefix_sums_dmm(std::span<const Word> input, std::int64_t threads,
                             std::int64_t width, Cycle latency);
 MachineScan prefix_sums_umm(std::span<const Word> input, std::int64_t threads,
-                            std::int64_t width, Cycle latency);
+                            std::int64_t width, Cycle latency,
+                            EngineObserver* observer = nullptr);
 
 /// HMM version: stage slices into the latency-1 shared memories, scan
 /// locally, scan the d block sums on DMM(0), add carries, copy back —
 /// O(n/w + nl/p + l + log n).  Requires n % d == 0.
 MachineScan prefix_sums_hmm(std::span<const Word> input, std::int64_t num_dmms,
                             std::int64_t threads_per_dmm, std::int64_t width,
-                            Cycle latency);
+                            Cycle latency, EngineObserver* observer = nullptr);
 
 }  // namespace hmm::alg

@@ -38,11 +38,12 @@ SubTask device_bitonic_stage(ThreadCtx& t, MemorySpace space, Address base,
 
 MachineSort sort_standalone(std::span<const Word> input, std::int64_t threads,
                             std::int64_t width, Cycle latency,
-                            MemorySpace space) {
+                            MemorySpace space, EngineObserver* observer) {
   const auto n = static_cast<std::int64_t>(input.size());
   Machine machine = space == MemorySpace::kShared
                         ? Machine::dmm(width, latency, threads, n)
                         : Machine::umm(width, latency, threads, n);
+  machine.set_observer(observer);
   BankMemory& mem = space == MemorySpace::kShared
                         ? machine.shared_memory(0)
                         : machine.global_memory();
@@ -75,24 +76,26 @@ MachineSort sort_mm(Machine& machine, MemorySpace space, std::int64_t n) {
 MachineSort sort_dmm(std::span<const Word> input, std::int64_t threads,
                      std::int64_t width, Cycle latency) {
   return sort_standalone(input, threads, width, latency,
-                         MemorySpace::kShared);
+                         MemorySpace::kShared, nullptr);
 }
 
 MachineSort sort_umm(std::span<const Word> input, std::int64_t threads,
-                     std::int64_t width, Cycle latency) {
+                     std::int64_t width, Cycle latency,
+                     EngineObserver* observer) {
   return sort_standalone(input, threads, width, latency,
-                         MemorySpace::kGlobal);
+                         MemorySpace::kGlobal, observer);
 }
 
 MachineSort sort_hmm(std::span<const Word> input, std::int64_t num_dmms,
                      std::int64_t threads_per_dmm, std::int64_t width,
-                     Cycle latency) {
+                     Cycle latency, EngineObserver* observer) {
   const auto n = static_cast<std::int64_t>(input.size());
   const std::int64_t d = num_dmms;
   HMM_REQUIRE(d >= 1 && is_pow2(d) && n >= d && n % d == 0,
               "bitonic sort: d must be a power of two dividing n");
   Machine machine =
       Machine::hmm(width, latency, d, threads_per_dmm, n / d, n);
+  machine.set_observer(observer);
   machine.global_memory().load(0, input);
   return sort_hmm(machine, n);
 }

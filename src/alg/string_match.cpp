@@ -101,7 +101,7 @@ BaselineMatch string_match_sequential(std::span<const Word> pattern,
 MachineMatch string_match_umm(std::span<const Word> pattern,
                               std::span<const Word> text,
                               std::int64_t threads, std::int64_t width,
-                              Cycle latency) {
+                              Cycle latency, EngineObserver* observer) {
   check_inputs(pattern, text);
   const auto m = static_cast<std::int64_t>(pattern.size());
   const auto n = static_cast<std::int64_t>(text.size());
@@ -110,6 +110,7 @@ MachineMatch string_match_umm(std::span<const Word> pattern,
   const Address pat = 0, txt = m, table = m + n;
 
   Machine machine = Machine::umm(width, latency, threads, size);
+  machine.set_observer(observer);
   machine.global_memory().load(pat, pattern);
   machine.global_memory().load(txt, text);
   RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
@@ -125,7 +126,8 @@ MachineMatch string_match_hmm(std::span<const Word> pattern,
                               std::span<const Word> text,
                               std::int64_t num_dmms,
                               std::int64_t threads_per_dmm,
-                              std::int64_t width, Cycle latency) {
+                              std::int64_t width, Cycle latency,
+                              EngineObserver* observer) {
   check_inputs(pattern, text);
   const auto m = static_cast<std::int64_t>(pattern.size());
   const auto n = static_cast<std::int64_t>(text.size());
@@ -145,6 +147,7 @@ MachineMatch string_match_hmm(std::span<const Word> pattern,
 
   Machine machine = Machine::hmm(width, latency, d, threads_per_dmm,
                                  shared_size, global_size);
+  machine.set_observer(observer);
   machine.global_memory().load(g_pat, pattern);
   machine.global_memory().load(g_txt, text);
 

@@ -46,7 +46,8 @@ BaselineMatch string_match_sequential(std::span<const Word> pattern,
 MachineMatch string_match_umm(std::span<const Word> pattern,
                               std::span<const Word> text,
                               std::int64_t threads, std::int64_t width,
-                              Cycle latency);
+                              Cycle latency,
+                              EngineObserver* observer = nullptr);
 
 /// Sliced wavefront on the HMM: each DMM owns n/d text positions plus a
 /// 2m halo, computes its band in shared memory, and writes its slice of
@@ -55,6 +56,7 @@ MachineMatch string_match_hmm(std::span<const Word> pattern,
                               std::span<const Word> text,
                               std::int64_t num_dmms,
                               std::int64_t threads_per_dmm,
-                              std::int64_t width, Cycle latency);
+                              std::int64_t width, Cycle latency,
+                              EngineObserver* observer = nullptr);
 
 }  // namespace hmm::alg

@@ -47,11 +47,14 @@ MachineSum sum_mm(Machine& machine, MemorySpace space, Address base,
                   std::int64_t n);
 
 /// Convenience: builds a standalone DMM (space = shared) or UMM
-/// (space = global), loads `input`, runs, returns.
+/// (space = global), loads `input`, runs, returns.  The optional
+/// `observer` (telemetry sink, metrics registry, checker...) is attached
+/// to the machine for the run.
 MachineSum sum_dmm(std::span<const Word> input, std::int64_t threads,
                    std::int64_t width, Cycle latency);
 MachineSum sum_umm(std::span<const Word> input, std::int64_t threads,
-                   std::int64_t width, Cycle latency);
+                   std::int64_t width, Cycle latency,
+                   EngineObserver* observer = nullptr);
 
 // ---- Lemma 6: straightforward HMM sum (one DMM, global memory only) ------
 
@@ -76,6 +79,6 @@ MachineSum sum_hmm_straightforward(std::span<const Word> input,
 MachineSum sum_hmm(Machine& machine, std::int64_t n);
 MachineSum sum_hmm(std::span<const Word> input, std::int64_t num_dmms,
                    std::int64_t threads_per_dmm, std::int64_t width,
-                   Cycle latency);
+                   Cycle latency, EngineObserver* observer = nullptr);
 
 }  // namespace hmm::alg

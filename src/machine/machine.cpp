@@ -154,6 +154,7 @@ class Engine {
   };
 
   void launch_threads();
+  void emit_trace(const TraceEvent& event);
   void round(WarpState& w);
   void resume_flagged(WarpState& w);
   void memory_round(WarpState& w, MemorySpace space);
@@ -183,6 +184,12 @@ class Engine {
   WarpBatch batch_scratch_;
   std::vector<ThreadId> participants_scratch_;
   RunReport report_;
+  // Trace routing, sampled once per run: trace_ is true when ANY consumer
+  // wants TraceEvents (the legacy record_trace collector and/or an
+  // attached observer with wants_trace_events()); with no consumer the
+  // per-round cost is a single branch on a cached bool.
+  bool trace_ = false;
+  bool observer_traces_ = false;
 };
 
 Machine::Port& Engine::port_for(DmmId dmm, MemorySpace space) {
@@ -275,6 +282,10 @@ RunReport Engine::run() {
     machine_.global_->memory.reset_traffic();
   }
 
+  observer_traces_ =
+      machine_.observer_ != nullptr && machine_.observer_->wants_trace_events();
+  trace_ = machine_.config_.record_trace || observer_traces_;
+
   launch_threads();
   report_.threads = machine_.num_threads();
   report_.warps = machine_.topology().total_warps();
@@ -304,6 +315,17 @@ RunReport Engine::run() {
   }
   if (machine_.observer_) machine_.observer_->on_run_end(report_);
   return std::move(report_);
+}
+
+/// THE single trace-emission path: every scheduled event is constructed
+/// once at its call site and routed here, to the legacy RunReport::trace
+/// collector (MachineConfig::record_trace — a compatibility shim with the
+/// exact semantics of telemetry::CollectingSink) and to the attached
+/// observer's trace hook.  Call sites guard on `trace_` so the detached
+/// hot path never constructs a TraceEvent.
+void Engine::emit_trace(const TraceEvent& event) {
+  if (machine_.config_.record_trace) report_.trace.push_back(event);
+  if (observer_traces_) machine_.observer_->on_trace_event(event);
 }
 
 void Engine::resume_flagged(WarpState& w) {
@@ -440,6 +462,9 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
         .dmm_pricing = port.dmm_pricing,
         .issue = issue,
         .stages = stages,
+        .inject_begin = slot.inject_begin,
+        .inject_end = slot.inject_end,
+        .data_ready = slot.data_ready,
         .batch = batch,
         .profile = &profile,
     });
@@ -454,8 +479,8 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
   w.clock = slot.data_ready;
   requeue(w);
 
-  if (machine_.config_.record_trace) {
-    report_.trace.push_back(TraceEvent{
+  if (trace_) {
+    emit_trace(TraceEvent{
         .kind = TraceEvent::Kind::kMemory,
         .warp = w.id,
         .dmm = w.dmm,
@@ -487,8 +512,8 @@ void Engine::compute_round(WarpState& w) {
   for (ThreadId t : participants) thread(t).need_resume = true;
   requeue(w);
 
-  if (machine_.config_.record_trace) {
-    report_.trace.push_back(TraceEvent{
+  if (trace_) {
+    emit_trace(TraceEvent{
         .kind = TraceEvent::Kind::kCompute,
         .warp = w.id,
         .dmm = w.dmm,
@@ -535,11 +560,18 @@ void Engine::release(BarrierDomain& domain) {
   const Cycle t = domain.max_arrival;
   ++report_.barrier_releases;
   if (machine_.observer_) {
+    // Parked warps still carry their arrival time in `clock`, so the
+    // domain's aggregate barrier wait is free to compute here.
+    Cycle stall = 0;
+    for (WarpId wid : domain.arrived) {
+      stall += t - warps_[static_cast<std::size_t>(wid)].clock;
+    }
     machine_.observer_->on_barrier_release(BarrierReleaseEvent{
         .scope = domain.scope,
         .dmm = domain.dmm,
         .when = t,
         .warps_released = static_cast<std::int64_t>(domain.arrived.size()),
+        .stall_cycles = stall,
     });
   }
   for (WarpId wid : domain.arrived) {
@@ -554,8 +586,8 @@ void Engine::release(BarrierDomain& domain) {
       }
     }
     requeue(w);
-    if (machine_.config_.record_trace) {
-      report_.trace.push_back(TraceEvent{
+    if (trace_) {
+      emit_trace(TraceEvent{
           .kind = TraceEvent::Kind::kBarrier,
           .warp = w.id,
           .dmm = w.dmm,

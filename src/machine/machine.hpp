@@ -56,6 +56,11 @@ struct MachineConfig {
   std::vector<std::int64_t> threads_per_dmm = {32};
   std::optional<MemorySpec> shared;  ///< per-DMM shared memory, DMM pricing
   std::optional<MemorySpec> global;  ///< one global memory, UMM pricing
+  /// Collect the full event stream into RunReport::trace.  Compatibility
+  /// shim over the sink API: the engine feeds one emission path, and this
+  /// flag is exactly "a telemetry::CollectingSink owned by the report" —
+  /// unbounded, O(run length) memory.  Production-scale traced runs
+  /// should attach a telemetry::RingBufferSink instead (O(capacity)).
   bool record_trace = false;
 };
 

@@ -28,7 +28,9 @@ namespace hmm {
 class Machine;
 
 /// One warp's memory dispatch: the batch it sent (with per-request thread
-/// attribution, see Request::thread) and the price the MMU charged.
+/// attribution, see Request::thread), the price the MMU charged and the
+/// pipeline slot it got (telemetry derives queueing/latency stalls from
+/// the issue-to-data_ready window).
 struct MemoryBatchEvent {
   WarpId warp = 0;
   DmmId dmm = 0;
@@ -36,6 +38,9 @@ struct MemoryBatchEvent {
   bool dmm_pricing = false;        ///< true: bank pricing; false: groups
   Cycle issue = 0;                 ///< cycle the warp instruction issued
   std::int64_t stages = 0;         ///< priced pipeline stages of the batch
+  Cycle inject_begin = 0;          ///< first injection cycle of the slot
+  Cycle inject_end = 0;            ///< last injection cycle of the slot
+  Cycle data_ready = 0;            ///< first cycle the issuer may proceed
   std::span<const Request> batch;  ///< valid only during the callback
   const BatchProfile* profile = nullptr;  ///< full cost breakdown
 };
@@ -46,6 +51,7 @@ struct BarrierReleaseEvent {
   DmmId dmm = -1;  ///< owning DMM for kDmm scope; -1 for kMachine
   Cycle when = 0;  ///< release time (max arrival over the domain)
   std::int64_t warps_released = 0;
+  Cycle stall_cycles = 0;  ///< sum over released warps of (when - arrival)
 };
 
 class EngineObserver {
@@ -70,7 +76,24 @@ class EngineObserver {
     (void)warp, (void)dmm, (void)when;
   }
 
-  virtual void on_run_end(const RunReport& report) { (void)report; }
+  /// Opt-in for on_trace_event.  Sampled once at the start of each run:
+  /// when it returns false (the default) the engine never constructs
+  /// TraceEvents for this observer, so analysis-only observers (e.g. the
+  /// AccessChecker) pay nothing for the trace channel.
+  virtual bool wants_trace_events() const { return false; }
+
+  /// One scheduled TraceEvent, in the engine's deterministic emission
+  /// order — the exact stream `MachineConfig::record_trace` collects into
+  /// RunReport::trace (telemetry/sink.hpp builds every trace sink on this
+  /// hook).  Only called when wants_trace_events() returned true at run
+  /// start.
+  virtual void on_trace_event(const TraceEvent& event) { (void)event; }
+
+  /// The run finished; `report` is complete (makespan, pipeline and exec
+  /// counters, trace).  The reference is mutable so telemetry observers
+  /// can snapshot derived metrics into RunReport::metrics; observers must
+  /// not clear or rewrite the engine-owned fields.
+  virtual void on_run_end(RunReport& report) { (void)report; }
 };
 
 }  // namespace hmm

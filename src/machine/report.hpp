@@ -1,7 +1,9 @@
 // What a simulation run reports back: the makespan in the paper's time
-// units plus utilisation counters and (optionally) a full event trace.
+// units plus utilisation counters, (optionally) a full event trace and
+// (optionally) a telemetry metrics snapshot.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/types.hpp"
@@ -35,6 +37,62 @@ struct ExecStats {
   friend bool operator==(const ExecStats&, const ExecStats&) = default;
 };
 
+/// Batches-per-cost histogram of one pricing rule: index k counts warp
+/// dispatches that cost k pipeline stages.  Under DMM pricing k is the
+/// bank-conflict degree (k = 1 is the paper's "conflict-free"); under UMM
+/// pricing k is the address-group count (k = 1 is "fully coalesced").
+/// Index 0 is unused: a dispatched batch costs >= 1 stage.
+struct StageHistogram {
+  std::vector<std::int64_t> batches_by_stages;
+  std::int64_t batches = 0;       ///< total dispatches recorded
+  std::int64_t max_stages = 0;    ///< largest cost seen (0: none recorded)
+  std::int64_t total_stages = 0;  ///< sum of per-dispatch costs
+
+  friend bool operator==(const StageHistogram&,
+                         const StageHistogram&) = default;
+};
+
+/// Aggregated telemetry of one or more observed runs, accumulated by
+/// telemetry::MetricsRegistry and written into RunReport::metrics at run
+/// end.  Every quantity is stated in the paper's cost terms — see
+/// docs/OBSERVABILITY.md for the exact definitions.
+struct MetricsSnapshot {
+  std::int64_t runs = 0;  ///< Machine::run calls folded into this snapshot
+
+  StageHistogram conflict_degree;  ///< DMM-priced dispatches (bank rule)
+  StageHistogram address_groups;   ///< UMM-priced dispatches (group rule)
+
+  std::int64_t shared_batches = 0;
+  std::int64_t shared_requests = 0;
+  std::int64_t global_batches = 0;
+  std::int64_t global_requests = 0;
+
+  Cycle memory_stall_cycles = 0;   ///< warp wait beyond the issue cycle
+  Cycle barrier_stall_cycles = 0;  ///< warp wait parked at barriers
+  std::int64_t barrier_releases = 0;
+  std::int64_t warps_finished = 0;
+
+  Cycle makespan = 0;                ///< summed over observed runs
+  std::int64_t exec_issue_slots = 0; ///< warp instructions issued
+  std::int64_t global_stages = 0;    ///< global pipeline stages injected
+  Cycle global_busy = 0;             ///< global pipeline busy_until sum
+  std::int64_t shared_stages = 0;    ///< all shared pipelines, summed
+  Cycle shared_busy = 0;             ///< all shared busy_until, summed
+  std::int64_t bottleneck_stages = 0;  ///< per run: max stages over ports
+
+  /// stages / busy_until of the injection port: 1.0 = the pipeline never
+  /// idled while active.  0 when the port was never used.
+  double global_occupancy = 0.0;
+  double shared_occupancy = 0.0;  ///< aggregate over every shared port
+  /// bottleneck_stages / makespan: the fraction of the run the busiest
+  /// pipeline was injecting.  1.0 = bandwidth-bound (latency fully
+  /// hidden, Fig. 4); -> 0 = latency- or compute-bound.
+  double latency_hiding = 0.0;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
 struct RunReport {
   Cycle makespan = 0;  ///< completion time of the slowest warp (time units)
 
@@ -47,6 +105,10 @@ struct RunReport {
   std::int64_t warps = 0;
 
   std::vector<TraceEvent> trace;  ///< populated only when tracing
+
+  /// Populated only when a telemetry::MetricsRegistry observed the run
+  /// (cumulative over every run that registry has seen).
+  std::optional<MetricsSnapshot> metrics;
 
   /// Byte-for-byte comparability: determinism tests assert that repeated
   /// runs (and sweeps at any thread count) produce identical reports.

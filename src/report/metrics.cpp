@@ -1,0 +1,68 @@
+#include "report/metrics.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace hmm {
+
+namespace {
+
+double mean_stages(const StageHistogram& h) {
+  return h.batches > 0
+             ? static_cast<double>(h.total_stages) /
+                   static_cast<double>(h.batches)
+             : 0.0;
+}
+
+}  // namespace
+
+Table metrics_summary_table(const MetricsSnapshot& s) {
+  Table t("telemetry metrics (" + std::to_string(s.runs) + " run" +
+          (s.runs == 1 ? "" : "s") + ")");
+  t.set_header({"metric", "value", "note"});
+  t.add_row({"makespan", Table::cell(s.makespan), "time units, summed"});
+  t.add_row({"warps_finished", Table::cell(s.warps_finished), ""});
+  t.add_row({"exec_issue_slots", Table::cell(s.exec_issue_slots),
+             "warp instructions issued"});
+  t.add_row({"shared_batches", Table::cell(s.shared_batches),
+             std::to_string(s.shared_requests) + " requests"});
+  t.add_row({"global_batches", Table::cell(s.global_batches),
+             std::to_string(s.global_requests) + " requests"});
+  t.add_row({"conflict_degree_max", Table::cell(s.conflict_degree.max_stages),
+             "1 = conflict-free (DMM pricing)"});
+  t.add_row({"conflict_degree_mean", Table::cell(mean_stages(s.conflict_degree)),
+             "stages per shared dispatch"});
+  t.add_row({"address_groups_max", Table::cell(s.address_groups.max_stages),
+             "1 = fully coalesced (UMM pricing)"});
+  t.add_row({"address_groups_mean", Table::cell(mean_stages(s.address_groups)),
+             "stages per global dispatch"});
+  t.add_row({"memory_stall_cycles", Table::cell(s.memory_stall_cycles),
+             "warp-cycles waiting on memory"});
+  t.add_row({"barrier_stall_cycles", Table::cell(s.barrier_stall_cycles),
+             std::to_string(s.barrier_releases) + " releases"});
+  t.add_row({"global_occupancy", Table::cell(s.global_occupancy),
+             "stages / busy cycles"});
+  t.add_row({"shared_occupancy", Table::cell(s.shared_occupancy),
+             "stages / busy cycles, all ports"});
+  t.add_row({"latency_hiding", Table::cell(s.latency_hiding),
+             "bottleneck stages / makespan; 1 = bandwidth-bound"});
+  return t;
+}
+
+Table metrics_histogram_table(const MetricsSnapshot& s) {
+  Table t("access-cost histograms (dispatches per degree)");
+  t.set_header({"degree", "shared_bank_conflict", "global_address_groups"});
+  const std::int64_t top =
+      std::max(s.conflict_degree.max_stages, s.address_groups.max_stages);
+  auto at = [](const StageHistogram& h, std::int64_t stages) {
+    const auto i = static_cast<std::size_t>(stages);
+    return i < h.batches_by_stages.size() ? h.batches_by_stages[i] : 0;
+  };
+  for (std::int64_t degree = 1; degree <= top; ++degree) {
+    t.add_row({Table::cell(degree), Table::cell(at(s.conflict_degree, degree)),
+               Table::cell(at(s.address_groups, degree))});
+  }
+  return t;
+}
+
+}  // namespace hmm

@@ -1,0 +1,22 @@
+// File-able rendering of telemetry::MetricsRegistry snapshots: a summary
+// table (stalls, occupancy, latency hiding) and the cost histograms, in
+// the shared Table format (ASCII for terminals, CSV for downstream
+// tooling).  Used by `hmmsim --metrics` and available to any harness
+// with a MetricsSnapshot in hand.
+#pragma once
+
+#include "machine/report.hpp"
+#include "report/table.hpp"
+
+namespace hmm {
+
+/// One metric per row (name, value, note); covers counts, stall
+/// breakdown, pipeline occupancy and latency-hiding efficiency.
+Table metrics_summary_table(const MetricsSnapshot& snapshot);
+
+/// Bank-conflict degree (DMM pricing) and address-group count (UMM
+/// pricing) distributions: one row per cost with dispatch counts —
+/// the same shape as report::conflict_histogram_table for the checker.
+Table metrics_histogram_table(const MetricsSnapshot& snapshot);
+
+}  // namespace hmm

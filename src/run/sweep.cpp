@@ -63,9 +63,11 @@ std::vector<RunReport> SweepRunner::run(std::span<const SweepJob> sweep) const {
     HMM_REQUIRE(static_cast<bool>(job.kernel),
                 "SweepRunner: every job needs a kernel");
     Machine machine(job.config);
+    machine.set_observer(job.observer);
     if (job.setup) job.setup(machine);
     RunReport report = machine.run(job.kernel);
     if (job.collect) job.collect(machine, report);
+    machine.set_observer(nullptr);
     reports[static_cast<std::size_t>(i)] = std::move(report);
   });
   return reports;

@@ -42,6 +42,11 @@ struct SweepJob {
   Machine::KernelFn kernel;
   std::function<void(Machine&)> setup;
   std::function<void(Machine&, const RunReport&)> collect;
+  /// Attached for the run, detached before `collect` returns.  Because
+  /// jobs run concurrently, each job needs its OWN observer instance
+  /// (e.g. one MetricsRegistry per grid point); sharing one across jobs
+  /// would race.  Not owned; must outlive the sweep.
+  EngineObserver* observer = nullptr;
 };
 
 class SweepRunner {

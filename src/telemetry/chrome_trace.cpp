@@ -1,0 +1,97 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace hmm::telemetry {
+
+namespace {
+
+// Every name written below is a fixed ASCII literal or an integer, so no
+// JSON string escaping is required.
+void write_metadata(std::ostream& out, std::span<const TraceEvent> events,
+                    bool& first) {
+  std::map<DmmId, bool> dmms;
+  std::map<std::pair<DmmId, WarpId>, bool> warps;
+  for (const TraceEvent& e : events) {
+    dmms[e.dmm] = true;
+    warps[{e.dmm, e.warp}] = true;
+  }
+  for (const auto& [dmm, unused] : dmms) {
+    (void)unused;
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << R"(  {"ph":"M","name":"process_name","pid":)" << dmm
+        << R"(,"args":{"name":"DMM )" << dmm << R"("}})";
+  }
+  for (const auto& [key, unused] : warps) {
+    (void)unused;
+    out << ",\n";
+    out << R"(  {"ph":"M","name":"thread_name","pid":)" << key.first
+        << R"(,"tid":)" << key.second << R"(,"args":{"name":"warp )"
+        << key.second << R"("}})";
+  }
+}
+
+void write_event(std::ostream& out, const TraceEvent& e, std::int64_t scale,
+                 bool& first) {
+  const Cycle ts = e.begin * scale;
+  out << (first ? "\n" : ",\n");
+  first = false;
+  switch (e.kind) {
+    case TraceEvent::Kind::kMemory: {
+      const char* name =
+          e.space == MemorySpace::kShared ? "shared access" : "global access";
+      out << R"(  {"ph":"X","name":")" << name << R"(","cat":"memory","pid":)"
+          << e.dmm << R"(,"tid":)" << e.warp << R"(,"ts":)" << ts
+          << R"(,"dur":)" << (e.end - e.begin + 1) * scale
+          << R"(,"args":{"requests":)" << e.requests << R"(,"stages":)"
+          << e.stages << "}}";
+      if (e.ready > e.end + 1) {
+        out << ",\n";
+        out << R"(  {"ph":"X","name":"in flight","cat":"latency","pid":)"
+            << e.dmm << R"(,"tid":)" << e.warp << R"(,"ts":)"
+            << (e.end + 1) * scale << R"(,"dur":)"
+            << (e.ready - e.end - 1) * scale << "}";
+      }
+      break;
+    }
+    case TraceEvent::Kind::kCompute:
+      out << R"(  {"ph":"X","name":"compute","cat":"compute","pid":)" << e.dmm
+          << R"(,"tid":)" << e.warp << R"(,"ts":)" << ts << R"(,"dur":)"
+          << (e.end - e.begin + 1) * scale << "}";
+      break;
+    case TraceEvent::Kind::kBarrier:
+      out << R"(  {"ph":"i","name":"barrier release","cat":"barrier","s":"t",)"
+          << R"("pid":)" << e.dmm << R"(,"tid":)" << e.warp << R"(,"ts":)"
+          << ts << "}";
+      break;
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events,
+                        const ChromeTraceOptions& options) {
+  HMM_REQUIRE(options.time_scale >= 1,
+              "chrome trace: time_scale must be >= 1");
+  out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  if (options.metadata) write_metadata(out, events, first);
+  for (const TraceEvent& e : events) {
+    write_event(out, e, options.time_scale, first);
+  }
+  out << (first ? "]\n}\n" : "\n]\n}\n");
+}
+
+std::string chrome_trace_json(std::span<const TraceEvent> events,
+                              const ChromeTraceOptions& options) {
+  std::ostringstream out;
+  write_chrome_trace(out, events, options);
+  return out.str();
+}
+
+}  // namespace hmm::telemetry

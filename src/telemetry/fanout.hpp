@@ -1,0 +1,61 @@
+// ObserverFanout — attach several EngineObservers through the Machine's
+// single observer slot.  `hmmsim --trace --metrics` uses one to run a
+// RingBufferSink and a MetricsRegistry side by side, and tests combine a
+// MetricsRegistry with an analysis::AccessChecker to cross-validate the
+// two histograms on one run.
+//
+// Children are called in registration order, inline in the engine loop;
+// they are not owned and must outlive every observed run.  The trace
+// channel is demanded iff any child demands it, and forwarded only to
+// the children that do.
+#pragma once
+
+#include <vector>
+
+#include "machine/observer.hpp"
+
+namespace hmm::telemetry {
+
+class ObserverFanout final : public EngineObserver {
+ public:
+  ObserverFanout() = default;
+
+  void add(EngineObserver* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(children_.size());
+  }
+
+  void on_run_begin(const Machine& machine) override {
+    for (EngineObserver* c : children_) c->on_run_begin(machine);
+  }
+  void on_memory_batch(const MemoryBatchEvent& event) override {
+    for (EngineObserver* c : children_) c->on_memory_batch(event);
+  }
+  void on_barrier_release(const BarrierReleaseEvent& event) override {
+    for (EngineObserver* c : children_) c->on_barrier_release(event);
+  }
+  void on_warp_finish(WarpId warp, DmmId dmm, Cycle when) override {
+    for (EngineObserver* c : children_) c->on_warp_finish(warp, dmm, when);
+  }
+  bool wants_trace_events() const override {
+    for (const EngineObserver* c : children_) {
+      if (c->wants_trace_events()) return true;
+    }
+    return false;
+  }
+  void on_trace_event(const TraceEvent& event) override {
+    for (EngineObserver* c : children_) {
+      if (c->wants_trace_events()) c->on_trace_event(event);
+    }
+  }
+  void on_run_end(RunReport& report) override {
+    for (EngineObserver* c : children_) c->on_run_end(report);
+  }
+
+ private:
+  std::vector<EngineObserver*> children_;  // not owned
+};
+
+}  // namespace hmm::telemetry

@@ -1,0 +1,78 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace hmm::telemetry {
+
+namespace {
+
+void bump(StageHistogram& hist, std::int64_t stages) {
+  if (stages >= static_cast<std::int64_t>(hist.batches_by_stages.size())) {
+    hist.batches_by_stages.resize(static_cast<std::size_t>(stages) + 1, 0);
+  }
+  ++hist.batches_by_stages[static_cast<std::size_t>(stages)];
+  ++hist.batches;
+  hist.max_stages = std::max(hist.max_stages, stages);
+  hist.total_stages += stages;
+}
+
+double ratio(std::int64_t num, std::int64_t den) {
+  return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+}  // namespace
+
+void MetricsRegistry::on_memory_batch(const MemoryBatchEvent& event) {
+  bump(event.dmm_pricing ? acc_.conflict_degree : acc_.address_groups,
+       event.stages);
+  const auto requests = static_cast<std::int64_t>(event.batch.size());
+  if (event.space == MemorySpace::kShared) {
+    ++acc_.shared_batches;
+    acc_.shared_requests += requests;
+  } else {
+    ++acc_.global_batches;
+    acc_.global_requests += requests;
+  }
+  // The warp occupied its exec unit for the issue cycle itself; every
+  // further cycle until the data came back is memory stall (queueing
+  // behind the port + injection + the pipeline latency l).
+  acc_.memory_stall_cycles += event.data_ready - event.issue - 1;
+}
+
+void MetricsRegistry::on_barrier_release(const BarrierReleaseEvent& event) {
+  ++acc_.barrier_releases;
+  acc_.barrier_stall_cycles += event.stall_cycles;
+}
+
+void MetricsRegistry::on_warp_finish(WarpId warp, DmmId dmm, Cycle when) {
+  (void)warp, (void)dmm, (void)when;
+  ++acc_.warps_finished;
+}
+
+void MetricsRegistry::on_run_end(RunReport& report) {
+  ++acc_.runs;
+  acc_.makespan += report.makespan;
+  acc_.global_stages += report.global_pipeline.stages;
+  acc_.global_busy += report.global_pipeline.busy_until;
+  std::int64_t bottleneck = report.global_pipeline.stages;
+  for (const PipelineStats& s : report.shared_pipelines) {
+    acc_.shared_stages += s.stages;
+    acc_.shared_busy += s.busy_until;
+    bottleneck = std::max(bottleneck, s.stages);
+  }
+  acc_.bottleneck_stages += bottleneck;
+  for (const ExecStats& e : report.exec) {
+    acc_.exec_issue_slots += e.issue_slots;
+  }
+  report.metrics = snapshot();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap = acc_;
+  snap.global_occupancy = ratio(snap.global_stages, snap.global_busy);
+  snap.shared_occupancy = ratio(snap.shared_stages, snap.shared_busy);
+  snap.latency_hiding = ratio(snap.bottleneck_stages, snap.makespan);
+  return snap;
+}
+
+}  // namespace hmm::telemetry

@@ -1,0 +1,51 @@
+// MetricsRegistry — per-run model metrics accumulated from observer
+// events, stated in the paper's own cost terms.
+//
+// The simulator prices every warp access by exactly the quantities the
+// paper's bounds are written in: the bank-conflict degree of a shared
+// (DMM-priced) dispatch and the address-group count of a global
+// (UMM-priced) dispatch.  The registry turns the event stream into:
+//
+//  * conflict-degree and address-group HISTOGRAMS (batches per cost) —
+//    the distributions certify_conflict_free/certify_coalesced summarise;
+//  * a STALL BREAKDOWN per warp: cycles blocked on memory (issue to
+//    data_ready) vs. cycles parked at barriers (arrival to release);
+//  * PIPELINE OCCUPANCY per port (stages / busy_until) and the
+//    LATENCY-HIDING efficiency (bottleneck-port stages / makespan) —
+//    1.0 means the run was bandwidth-bound, i.e. Fig. 4's pipelining
+//    fully hid the access latency l.
+//
+// Attach with `machine.set_observer(&registry)` (or through an
+// ObserverFanout next to a trace sink / AccessChecker).  State
+// accumulates across every observed run — matching the AccessChecker's
+// convention — and each run's final RunReport gets the cumulative
+// snapshot in RunReport::metrics.  The registry does NOT subscribe to
+// the trace channel: metrics-only observation leaves trace emission off.
+#pragma once
+
+#include "machine/observer.hpp"
+
+namespace hmm::telemetry {
+
+class MetricsRegistry final : public EngineObserver {
+ public:
+  MetricsRegistry() = default;
+
+  /// Cumulative metrics over every run observed so far (also written
+  /// into RunReport::metrics at each run end).
+  MetricsSnapshot snapshot() const;
+
+  /// Drop all accumulated state.
+  void reset() { *this = MetricsRegistry(); }
+
+  // ---- EngineObserver --------------------------------------------------
+  void on_memory_batch(const MemoryBatchEvent& event) override;
+  void on_barrier_release(const BarrierReleaseEvent& event) override;
+  void on_warp_finish(WarpId warp, DmmId dmm, Cycle when) override;
+  void on_run_end(RunReport& report) override;
+
+ private:
+  MetricsSnapshot acc_;
+};
+
+}  // namespace hmm::telemetry

@@ -1,0 +1,157 @@
+// Trace sinks — streaming consumers of the engine's TraceEvent stream.
+//
+// A TelemetrySink is an EngineObserver that subscribes to the trace
+// channel (machine/observer.hpp): attach one with
+// `machine.set_observer(&sink)` and it receives every TraceEvent of
+// every subsequent run, in the engine's deterministic emission order —
+// the exact stream `MachineConfig::record_trace` collects into
+// RunReport::trace.  Three implementations cover the memory/latency
+// trade-offs of ROADMAP's "trace ring buffer / streaming sink" item:
+//
+//  * CollectingSink  — keeps everything; O(run length) memory.  The
+//    sink-API equivalent of the legacy record_trace flag (a run observed
+//    by a CollectingSink yields events identical to RunReport::trace).
+//  * RingBufferSink  — bounded drop-oldest window; O(capacity) memory
+//    regardless of run length, with a dropped-event counter.  The
+//    production choice for long traced runs.
+//  * CallbackSink    — invokes a user callback per event and stores
+//    nothing; O(1) memory.  The building block for custom streaming
+//    (file writers, sockets, aggregation).
+//
+// Per-run semantics: sinks that store events (collecting, ring) reset at
+// on_run_begin, mirroring RunReport::trace which covers one run.  Use
+// CallbackSink to accumulate across runs.  Sinks are not thread-safe;
+// attach each instance to one Machine at a time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/error.hpp"
+#include "machine/observer.hpp"
+
+namespace hmm::telemetry {
+
+/// Base class of every trace sink: routes the observer trace hook into
+/// `consume` and keeps the offered-event count.
+class TelemetrySink : public EngineObserver {
+ public:
+  bool wants_trace_events() const final { return true; }
+  void on_trace_event(const TraceEvent& event) final {
+    ++seen_;
+    consume(event);
+  }
+
+  /// Events offered to the sink since construction (kept + dropped,
+  /// across all observed runs).
+  std::int64_t events_seen() const { return seen_; }
+
+ protected:
+  virtual void consume(const TraceEvent& event) = 0;
+
+ private:
+  std::int64_t seen_ = 0;
+};
+
+/// Keeps the full trace of the current run, exactly as record_trace
+/// would have collected it into RunReport::trace.
+class CollectingSink final : public TelemetrySink {
+ public:
+  void on_run_begin(const Machine& machine) override {
+    (void)machine;
+    events_.clear();
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ protected:
+  void consume(const TraceEvent& event) override { events_.push_back(event); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Bounded drop-oldest trace window.  Storage is reserved once at
+/// construction and NEVER grows: a traced run holds O(capacity) events
+/// no matter how long it runs.  Capacity 0 is legal (count-only mode:
+/// every event is dropped but still counted).
+class RingBufferSink final : public TelemetrySink {
+ public:
+  explicit RingBufferSink(std::int64_t capacity) : capacity_(capacity) {
+    HMM_REQUIRE(capacity >= 0, "ring sink: capacity must be >= 0");
+    buffer_.reserve(static_cast<std::size_t>(capacity));
+  }
+
+  void on_run_begin(const Machine& machine) override {
+    (void)machine;
+    buffer_.clear();  // keeps the reserved storage
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  std::int64_t capacity() const { return capacity_; }
+  /// Events currently held (<= capacity).
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(buffer_.size());
+  }
+  /// Events evicted (or never admitted, capacity 0) this run.
+  std::int64_t dropped() const { return dropped_; }
+  /// Reserved storage in events; stays == capacity for the sink's whole
+  /// lifetime (the O(capacity) guarantee, asserted by tests).
+  std::int64_t storage_capacity() const {
+    return static_cast<std::int64_t>(buffer_.capacity());
+  }
+
+  /// The kept window, oldest event first (copies out of the ring).
+  std::vector<TraceEvent> events_in_order() const {
+    std::vector<TraceEvent> out;
+    out.reserve(buffer_.size());
+    const auto n = buffer_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(buffer_[(head_ + i) % n]);
+    }
+    return out;
+  }
+
+ protected:
+  void consume(const TraceEvent& event) override {
+    if (capacity_ == 0) {
+      ++dropped_;
+      return;
+    }
+    if (size() < capacity_) {
+      buffer_.push_back(event);
+      return;
+    }
+    buffer_[head_] = event;  // overwrite the oldest
+    head_ = (head_ + 1) % buffer_.size();
+    ++dropped_;
+  }
+
+ private:
+  std::int64_t capacity_;
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;  // index of the oldest kept event
+  std::int64_t dropped_ = 0;
+};
+
+/// Streams every event into a user callback; stores nothing.  The
+/// callback runs inline in the engine loop: keep it cheap and never
+/// re-enter the Machine from it.
+class CallbackSink final : public TelemetrySink {
+ public:
+  using Callback = std::function<void(const TraceEvent&)>;
+
+  explicit CallbackSink(Callback callback) : callback_(std::move(callback)) {
+    HMM_REQUIRE(static_cast<bool>(callback_),
+                "callback sink: callback must be callable");
+  }
+
+ protected:
+  void consume(const TraceEvent& event) override { callback_(event); }
+
+ private:
+  Callback callback_;
+};
+
+}  // namespace hmm::telemetry

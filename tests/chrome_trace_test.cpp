@@ -1,0 +1,236 @@
+// Chrome trace exporter: the emitted document must be well-formed JSON
+// (checked by a small recursive-descent validator — no JSON library in
+// the image) and must round-trip every event of the observed run.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alg/sort.hpp"
+#include "alg/sum.hpp"
+#include "alg/workload.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/sink.hpp"
+
+namespace hmm {
+namespace {
+
+using telemetry::chrome_trace_json;
+using telemetry::ChromeTraceOptions;
+using telemetry::CollectingSink;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator: accepts exactly the RFC 8259 grammar we emit
+// (objects, arrays, strings without escapes beyond \", numbers, bools,
+// null).  Returns true iff the whole input is one valid JSON value.
+// ---------------------------------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;  // accept any single escaped character
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return consume('"');
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    std::size_t digits = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_, ++digits;
+    }
+    if (digits == 0) return false;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      digits = 0;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_, ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::int64_t count_occurrences(const std::string& haystack,
+                               const std::string& needle) {
+  std::int64_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::int64_t count_kind(const std::vector<TraceEvent>& events,
+                        TraceEvent::Kind kind) {
+  std::int64_t count = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::vector<TraceEvent> traced_sort_run(std::int64_t n) {
+  CollectingSink sink;
+  alg::sort_hmm(alg::random_words(n, 43), /*num_dmms=*/2,
+                /*threads_per_dmm=*/16, /*width=*/4, /*latency=*/20, &sink);
+  return sink.events();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, EmitsValidJson) {
+  const std::string json = chrome_trace_json(traced_sort_run(128));
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyStreamIsStillAValidDocument) {
+  const std::string json = chrome_trace_json({});
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EveryEventOfTheRunRoundTrips) {
+  const std::vector<TraceEvent> events = traced_sort_run(128);
+  ASSERT_FALSE(events.empty());
+  const std::string json = chrome_trace_json(events);
+
+  // One "memory"-cat slice per kMemory event (the optional latency-tail
+  // slice carries cat "latency", so it never inflates this count), one
+  // "compute" slice per kCompute, one instant per kBarrier.
+  EXPECT_EQ(count_occurrences(json, R"("cat":"memory")"),
+            count_kind(events, TraceEvent::Kind::kMemory));
+  EXPECT_EQ(count_occurrences(json, R"("cat":"compute")"),
+            count_kind(events, TraceEvent::Kind::kCompute));
+  EXPECT_EQ(count_occurrences(json, R"("ph":"i")"),
+            count_kind(events, TraceEvent::Kind::kBarrier));
+  EXPECT_GT(count_kind(events, TraceEvent::Kind::kMemory), 0);
+  EXPECT_GT(count_kind(events, TraceEvent::Kind::kBarrier), 0);
+}
+
+TEST(ChromeTrace, MetadataNamesEveryDmmAndWarp) {
+  const std::int64_t num_dmms = 2, threads_per_dmm = 16, width = 4;
+  const std::vector<TraceEvent> events = traced_sort_run(128);
+  const std::string json = chrome_trace_json(events);
+  EXPECT_EQ(count_occurrences(json, "\"process_name\""), num_dmms);
+  // Warps are machine-wide ids; every warp issues at least one access in
+  // the bitonic network, so every thread track gets named.
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""),
+            num_dmms * threads_per_dmm / width);
+
+  const std::string bare =
+      chrome_trace_json(events, ChromeTraceOptions{.metadata = false});
+  JsonValidator validator(bare);
+  EXPECT_TRUE(validator.valid());
+  EXPECT_EQ(count_occurrences(bare, "\"process_name\""), 0);
+  EXPECT_EQ(count_occurrences(bare, "\"thread_name\""), 0);
+}
+
+TEST(ChromeTrace, TimeScaleMultipliesTimestamps) {
+  CollectingSink sink;
+  alg::sum_hmm(alg::random_words(64, 47), 2, 8, 4, 20, &sink);
+  const std::string scaled = chrome_trace_json(
+      sink.events(), ChromeTraceOptions{.time_scale = 1000});
+  JsonValidator validator(scaled);
+  EXPECT_TRUE(validator.valid());
+  EXPECT_THROW(chrome_trace_json(sink.events(),
+                                 ChromeTraceOptions{.time_scale = 0}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hmm

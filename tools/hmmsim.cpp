@@ -21,6 +21,8 @@
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,7 +36,12 @@
 #include "analysis/checker.hpp"
 #include "core/version.hpp"
 #include "report/findings.hpp"
+#include "report/metrics.hpp"
 #include "run/sweep.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/fanout.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
 
 using namespace hmm;
 
@@ -69,6 +76,10 @@ struct Cli {
   bool csv = false;
   bool check = false;
   analysis::CheckerConfig check_cfg;
+  std::string trace_path;                   ///< empty: no trace export
+  std::int64_t trace_capacity = 1 << 16;    ///< ring sink window (events)
+  bool metrics = false;
+  bool metrics_csv = false;                 ///< --metrics=csv
 };
 
 // hmmsim --check exit codes (documented in docs/ANALYSIS.md).
@@ -97,7 +108,17 @@ int usage(const char* argv0) {
       "                    single operating point).  KINDS is a comma list\n"
       "                    of race,bounds,conflict (default: all).  Exit\n"
       "                    codes: 3 race, 4 bounds/uninit, 5 certification\n"
-      "                    failure.\n\n"
+      "                    failure.\n"
+      "  --trace=FILE      export a Chrome trace-event JSON of the run\n"
+      "                    (open in chrome://tracing or Perfetto; single\n"
+      "                    operating point only)\n"
+      "  --trace-capacity=N  ring-buffer window for --trace: keep the\n"
+      "                    last N events, O(N) memory (default 65536)\n"
+      "  --metrics[=table|csv]  collect model metrics (conflict-degree /\n"
+      "                    address-group histograms, stall breakdown,\n"
+      "                    occupancy, latency hiding).  Single point:\n"
+      "                    prints tables (or CSV); sweeps: appends metric\n"
+      "                    columns to every CSV row.\n\n"
       "Comma-separated values sweep the cartesian grid in parallel, e.g.\n"
       "  %s sum --n 4096,65536 --l 100,400 --jobs 0\n",
       kVersionString, argv0, argv0);
@@ -152,6 +173,22 @@ bool parse(int argc, char** argv, Cli& cli) {
     };
     if (a == "--csv") {
       cli.csv = true;
+    } else if (a == "--metrics" || a == "--metrics=table") {
+      cli.metrics = true;
+      cli.metrics_csv = false;
+    } else if (a == "--metrics=csv") {
+      cli.metrics = true;
+      cli.metrics_csv = true;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      cli.trace_path = a.substr(std::strlen("--trace="));
+      if (cli.trace_path.empty()) return false;
+    } else if (a.rfind("--trace-capacity=", 0) == 0) {
+      std::vector<std::int64_t> one;
+      if (!parse_list(a.c_str() + std::strlen("--trace-capacity="), one) ||
+          one.size() != 1 || one[0] < 0) {
+        return false;
+      }
+      cli.trace_capacity = one[0];
     } else if (a == "--check") {
       cli.check = true;
     } else if (a.rfind("--check=", 0) == 0) {
@@ -176,7 +213,13 @@ bool parse(int argc, char** argv, Cli& cli) {
       else if (a == "--d") axis = &cli.d;
       else if (a == "--seed" || a == "--jobs") {
         std::vector<std::int64_t> one;
-        if (!parse_list(v, one) || one.size() != 1) return false;
+        if (!parse_list(v, one)) return false;
+        if (one.size() != 1) {
+          // A comma list here used to silently take the first value;
+          // these options are scalars, not sweep axes.
+          throw PreconditionError(a + " takes a single value, not a sweep "
+                                      "list (got \"" + v + "\")");
+        }
         if (a == "--seed") cli.seed = static_cast<std::uint64_t>(one[0]);
         else cli.jobs = one[0];
       }
@@ -216,9 +259,10 @@ struct Outcome {
   Cycle time = 0;
   std::int64_t global_stages = 0;
   std::string summary;
+  std::optional<MetricsSnapshot> metrics;  ///< --metrics only
 };
 
-Outcome run_algorithm(const Options& o) {
+Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
   const bool hmm_model = o.model == "hmm";
   const std::int64_t pd = hmm_model ? o.p / o.d : 0;
   if (hmm_model && (o.p % o.d != 0 || pd < 1)) {
@@ -235,19 +279,19 @@ Outcome run_algorithm(const Options& o) {
   if (o.algorithm == "sum") {
     const auto xs = alg::random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::sum_hmm(xs, o.d, pd, o.w, o.l);
+      const auto r = alg::sum_hmm(xs, o.d, pd, o.w, o.l, observer);
       finish(r.report, "sum = " + std::to_string(r.sum));
     } else {
-      const auto r = alg::sum_umm(xs, o.p, o.w, o.l);
+      const auto r = alg::sum_umm(xs, o.p, o.w, o.l, observer);
       finish(r.report, "sum = " + std::to_string(r.sum));
     }
   } else if (o.algorithm == "scan") {
     const auto xs = alg::random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::prefix_sums_hmm(xs, o.d, pd, o.w, o.l);
+      const auto r = alg::prefix_sums_hmm(xs, o.d, pd, o.w, o.l, observer);
       finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
     } else {
-      const auto r = alg::prefix_sums_umm(xs, o.p, o.w, o.l);
+      const auto r = alg::prefix_sums_umm(xs, o.p, o.w, o.l, observer);
       finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
     }
   } else if (o.algorithm == "conv") {
@@ -255,20 +299,20 @@ Outcome run_algorithm(const Options& o) {
     const auto x =
         alg::random_words(alg::conv_signal_length(o.m, o.n), o.seed + 1);
     if (hmm_model) {
-      const auto r = alg::convolution_hmm(a, x, o.d, pd, o.w, o.l);
+      const auto r = alg::convolution_hmm(a, x, o.d, pd, o.w, o.l, observer);
       finish(r.report, "z[0] = " + std::to_string(r.z.front()));
     } else {
-      const auto r = alg::convolution_umm(a, x, o.p, o.w, o.l);
+      const auto r = alg::convolution_umm(a, x, o.p, o.w, o.l, observer);
       finish(r.report, "z[0] = " + std::to_string(r.z.front()));
     }
   } else if (o.algorithm == "sort") {
     const auto xs = alg::random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::sort_hmm(xs, o.d, pd, o.w, o.l);
+      const auto r = alg::sort_hmm(xs, o.d, pd, o.w, o.l, observer);
       finish(r.report, "min = " + std::to_string(r.sorted.front()) +
                            ", max = " + std::to_string(r.sorted.back()));
     } else {
-      const auto r = alg::sort_umm(xs, o.p, o.w, o.l);
+      const auto r = alg::sort_umm(xs, o.p, o.w, o.l, observer);
       finish(r.report, "min = " + std::to_string(r.sorted.front()) +
                            ", max = " + std::to_string(r.sorted.back()));
     }
@@ -277,23 +321,25 @@ Outcome run_algorithm(const Options& o) {
     const auto b = alg::random_words(o.n * o.n, o.seed + 1);
     if (hmm_model) {
       const std::int64_t tile = std::min<std::int64_t>(o.n, o.w);
-      const auto r = alg::matmul_hmm_tiled(a, b, o.n, o.d, pd, o.w, o.l, tile);
+      const auto r = alg::matmul_hmm_tiled(a, b, o.n, o.d, pd, o.w, o.l, tile,
+                                           observer);
       finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
     } else {
-      const auto r = alg::matmul_umm(a, b, o.n, o.p, o.w, o.l);
+      const auto r = alg::matmul_umm(a, b, o.n, o.p, o.w, o.l, observer);
       finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
     }
   } else if (o.algorithm == "match") {
     const auto pat = alg::random_words(o.m, o.seed, 0, 3);
     const auto txt = alg::random_words(o.n, o.seed + 1, 0, 3);
     if (hmm_model) {
-      const auto r = alg::string_match_hmm(pat, txt, o.d, pd, o.w, o.l);
+      const auto r = alg::string_match_hmm(pat, txt, o.d, pd, o.w, o.l,
+                                           observer);
       finish(r.report,
              "min distance = " +
                  std::to_string(*std::min_element(r.distance.begin(),
                                                   r.distance.end())));
     } else {
-      const auto r = alg::string_match_umm(pat, txt, o.p, o.w, o.l);
+      const auto r = alg::string_match_umm(pat, txt, o.p, o.w, o.l, observer);
       finish(r.report,
              "min distance = " +
                  std::to_string(*std::min_element(r.distance.begin(),
@@ -393,22 +439,59 @@ int run_checked(const Options& o, const analysis::CheckerConfig& cfg) {
   return 0;
 }
 
+/// Export the ring sink's kept window as a Chrome trace and report what
+/// was captured.
+void write_trace_file(const std::string& path,
+                      const telemetry::RingBufferSink& sink) {
+  std::ofstream out(path);
+  if (!out) throw PreconditionError("cannot open trace file: " + path);
+  const std::vector<TraceEvent> events = sink.events_in_order();
+  telemetry::write_chrome_trace(out, events);
+  if (!out) throw PreconditionError("failed writing trace file: " + path);
+  std::printf("  trace: %s (kept %lld of %lld events, dropped %lld)\n",
+              path.c_str(), static_cast<long long>(sink.size()),
+              static_cast<long long>(sink.events_seen()),
+              static_cast<long long>(sink.dropped()));
+}
+
+void print_metrics(const MetricsSnapshot& snapshot, bool csv) {
+  const Table summary = metrics_summary_table(snapshot);
+  const Table histogram = metrics_histogram_table(snapshot);
+  if (csv) {
+    std::printf("%s\n%s", summary.to_csv().c_str(),
+                histogram.to_csv().c_str());
+  } else {
+    std::printf("\n%s\n%s", summary.to_ascii().c_str(),
+                histogram.to_ascii().c_str());
+  }
+}
+
 }  // namespace
 
-void print_csv_row(const Options& opt, const Outcome& out) {
-  std::printf("%s,%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+void print_csv_row(const Options& opt, const Outcome& out, bool metrics) {
+  std::printf("%s,%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld",
               opt.algorithm.c_str(), opt.model.c_str(),
               static_cast<long long>(opt.n), static_cast<long long>(opt.m),
               static_cast<long long>(opt.p), static_cast<long long>(opt.w),
               static_cast<long long>(opt.l), static_cast<long long>(opt.d),
               static_cast<long long>(out.time),
               static_cast<long long>(out.global_stages));
+  if (metrics) {
+    const MetricsSnapshot s = out.metrics.value_or(MetricsSnapshot{});
+    std::printf(",%lld,%lld,%lld,%lld,%.6f",
+                static_cast<long long>(s.conflict_degree.max_stages),
+                static_cast<long long>(s.address_groups.max_stages),
+                static_cast<long long>(s.memory_stall_cycles),
+                static_cast<long long>(s.barrier_stall_cycles),
+                s.latency_hiding);
+  }
+  std::printf("\n");
 }
 
 int main(int argc, char** argv) {
   Cli cli;
-  if (!parse(argc, argv, cli)) return usage(argv[0]);
   try {
+    if (!parse(argc, argv, cli)) return usage(argv[0]);
     const std::vector<Options> grid = expand_grid(cli);
     if (cli.check) {
       if (grid.size() != 1) {
@@ -417,13 +500,28 @@ int main(int argc, char** argv) {
                      "sweep\n");
         return 2;
       }
+      if (cli.metrics || !cli.trace_path.empty()) {
+        std::fprintf(stderr,
+                     "error: --check already owns the observer slot; drop "
+                     "--metrics/--trace\n");
+        return 2;
+      }
       return run_checked(grid.front(), cli.check_cfg);
     }
     if (grid.size() == 1) {
       const Options& opt = grid.front();
-      const Outcome out = run_algorithm(opt);
+
+      telemetry::RingBufferSink sink(cli.trace_capacity);
+      telemetry::MetricsRegistry registry;
+      telemetry::ObserverFanout fanout;
+      if (!cli.trace_path.empty()) fanout.add(&sink);
+      if (cli.metrics) fanout.add(&registry);
+      EngineObserver* observer = fanout.size() > 0 ? &fanout : nullptr;
+
+      Outcome out = run_algorithm(opt, observer);
+      if (cli.metrics) out.metrics = registry.snapshot();
       if (opt.csv) {
-        print_csv_row(opt, out);
+        print_csv_row(opt, out, cli.metrics);
       } else {
         std::printf(
             "%s on %s(n=%lld, m=%lld, p=%lld, w=%lld, l=%lld, d=%lld)\n",
@@ -436,23 +534,44 @@ int main(int argc, char** argv) {
                     static_cast<long long>(out.time),
                     static_cast<long long>(out.global_stages));
       }
+      if (!cli.trace_path.empty()) write_trace_file(cli.trace_path, sink);
+      if (cli.metrics && !opt.csv) print_metrics(*out.metrics, cli.metrics_csv);
       return 0;
     }
 
+    if (!cli.trace_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --trace needs a single operating point, not a "
+                   "sweep\n");
+      return 2;
+    }
+
     // Sweep: evaluate every grid point across the pool, then print rows
-    // in grid order (results are deterministic at any job count).
+    // in grid order (results are deterministic at any job count).  With
+    // --metrics each point gets its own registry (workers run
+    // concurrently) and its snapshot rides along in the outcome.
     std::vector<Outcome> outcomes(grid.size());
     const run::SweepRunner pool(cli.jobs);
     pool.for_each(static_cast<std::int64_t>(grid.size()),
                   [&](std::int64_t i) {
-                    outcomes[static_cast<std::size_t>(i)] =
-                        run_algorithm(grid[static_cast<std::size_t>(i)]);
+                    const Options& opt = grid[static_cast<std::size_t>(i)];
+                    Outcome& out = outcomes[static_cast<std::size_t>(i)];
+                    if (cli.metrics) {
+                      telemetry::MetricsRegistry registry;
+                      out = run_algorithm(opt, &registry);
+                      out.metrics = registry.snapshot();
+                    } else {
+                      out = run_algorithm(opt);
+                    }
                   });
     if (!cli.csv) {
-      std::printf("algorithm,model,n,m,p,w,l,d,time,global_stages\n");
+      std::printf("algorithm,model,n,m,p,w,l,d,time,global_stages%s\n",
+                  cli.metrics ? ",conflict_degree_max,address_groups_max,"
+                                "memory_stall,barrier_stall,latency_hiding"
+                              : "");
     }
     for (std::size_t i = 0; i < grid.size(); ++i) {
-      print_csv_row(grid[i], outcomes[i]);
+      print_csv_row(grid[i], outcomes[i], cli.metrics);
     }
     return 0;
   } catch (const std::exception& e) {
