@@ -36,4 +36,26 @@ std::vector<Word> edge_filter(std::int64_t m) {
   return out;
 }
 
+std::shared_ptr<const std::vector<Word>> WorkloadCache::random_words(
+    std::int64_t n, std::uint64_t seed, Word lo, Word hi) {
+  const Key key{n, seed, lo, hi};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Generate outside the lock: distinct keys don't serialize each other.
+  // A racing duplicate generation of the SAME key is resolved below by
+  // keeping whichever insert won (both buffers are identical anyway).
+  auto words = std::make_shared<const std::vector<Word>>(
+      alg::random_words(n, seed, lo, hi));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.try_emplace(key, std::move(words)).first->second;
+}
+
+std::size_t WorkloadCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
 }  // namespace hmm::alg

@@ -3,6 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -23,5 +27,32 @@ std::vector<Word> box_filter(std::int64_t m);
 
 /// A centered difference filter [-1, 0, ..., 0, 1] of length m >= 2.
 std::vector<Word> edge_filter(std::int64_t m);
+
+/// Shared immutable workload cache.
+///
+/// Sweeps run the same (n, seed) input on many machine shapes; without a
+/// cache every grid point regenerates (and copies) an identical vector,
+/// making sweep setup O(grid points * n) instead of O(distinct
+/// workloads).  The cache hands out `shared_ptr<const vector>` to one
+/// immutable buffer per distinct key, so concurrent grid points share a
+/// single allocation (thread-safe; workers only read).
+class WorkloadCache {
+ public:
+  /// The cached counterpart of alg::random_words: same values for the
+  /// same key, one shared buffer per distinct (n, seed, lo, hi).
+  std::shared_ptr<const std::vector<Word>> random_words(std::int64_t n,
+                                                        std::uint64_t seed,
+                                                        Word lo = -1000,
+                                                        Word hi = 1000);
+
+  /// Number of distinct workloads generated so far.
+  std::size_t size() const;
+
+ private:
+  using Key = std::tuple<std::int64_t, std::uint64_t, Word, Word>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const std::vector<Word>>> cache_;
+};
 
 }  // namespace hmm::alg

@@ -1,6 +1,7 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "core/error.hpp"
@@ -118,7 +119,20 @@ class Engine {
     ThreadCtx ctx;
     SimTask task;
     bool done = false;
-    bool need_resume = true;
+    bool need_resume = true;  // member of the warp's flagged-lane list
+  };
+
+  /// Operation class of a whole warp after a resume batch, computed by
+  /// resume_flagged while the freshly posted ops are hot in cache.
+  /// Anything but kMixed lets round() dispatch directly and skip the
+  /// per-lane classification scan — the common case, since uniform SIMD
+  /// kernels keep every live lane on the same operation.
+  enum class UniformClass : std::uint8_t {
+    kMixed,  ///< divergent ops, or a partial resume: rescan to classify
+    kMemory,
+    kCompute,
+    kBarrier,
+    kWarpSync,
   };
 
   struct WarpState {
@@ -127,7 +141,16 @@ class Engine {
     ThreadId first = 0;       // global id of lane 0
     std::int64_t count = 0;   // threads in this warp
     Cycle clock = 0;
+    // Sizes of this warp's slices of live_lanes_/flagged_lanes_ (the
+    // lane lists live in flat engine-owned storage, one width-sized
+    // slice per warp, so no warp round ever allocates).  `live` is
+    // maintained ONLY by resume_flagged, the one place a lane can die.
     std::int64_t live = 0;
+    std::int64_t flagged = 0;
+    UniformClass uniform = UniformClass::kMixed;
+    MemorySpace uniform_space = MemorySpace::kShared;  // when kMemory
+    BarrierScope uniform_scope = BarrierScope::kDmm;   // when kBarrier
+    Cycle uniform_cycles = 0;  // SIMD max over the batch, when kCompute
     bool waiting = false;   // parked at an unreleased barrier
     bool finished = false;
   };
@@ -170,6 +193,38 @@ class Engine {
   }
   void requeue(const WarpState& w) { queue_.push(w.clock, w.id); }
 
+  /// This warp's slice of the flat live-lane storage: the lanes (in
+  /// ascending order) whose thread has not finished.
+  std::int32_t* live_lanes(const WarpState& w) {
+    return live_lanes_.data() + static_cast<std::size_t>(w.id) * width_;
+  }
+  /// This warp's slice of the flat flagged-lane storage: the live lanes
+  /// (in ascending order) whose coroutine must be resumed next round.
+  std::int32_t* flagged_lanes(const WarpState& w) {
+    return flagged_lanes_.data() + static_cast<std::size_t>(w.id) * width_;
+  }
+  /// Mark a LIVE lane for resumption; idempotent per round.  Every
+  /// flag site iterates lanes in ascending order, so the flagged list
+  /// stays sorted and resume order is deterministic.
+  void flag_lane(WarpState& w, std::int32_t lane) {
+    ThreadState& ts = thread(w.first + lane);
+    if (ts.need_resume) return;
+    ts.need_resume = true;
+    flagged_lanes(w)[w.flagged++] = lane;
+  }
+  /// Bulk-flag EVERY live lane (barrier release, warp_sync reconverge):
+  /// one memcpy of the live list instead of a strided per-lane sweep.
+  /// Skipping the per-lane need_resume marks is sound because the warp is
+  /// requeued immediately and nothing else can flag its lanes before the
+  /// next resume_flagged consumes the whole batch (resume's
+  /// need_resume=false store is then a no-op).
+  void flag_all_live(WarpState& w) {
+    HMM_ASSERT(w.flagged == 0, "bulk flag over pending flags");
+    std::memcpy(flagged_lanes(w), live_lanes(w),
+                static_cast<std::size_t>(w.live) * sizeof(std::int32_t));
+    w.flagged = w.live;
+  }
+
   Machine& machine_;
   const Machine::KernelFn& kernel_;
 
@@ -182,7 +237,13 @@ class Engine {
   // Scratch reused by every memory/compute round: capacity is bounded by
   // the warp width, so after launch the hot path allocates nothing.
   WarpBatch batch_scratch_;
-  std::vector<ThreadId> participants_scratch_;
+  std::vector<std::int32_t> participants_scratch_;  // lanes, this round
+  // Flat per-warp lane lists (one width-sized slice each, see
+  // live_lanes()/flagged_lanes()): divergent or mostly-done warps visit
+  // only their live lanes instead of scanning the full warp width.
+  std::vector<std::int32_t> live_lanes_;
+  std::vector<std::int32_t> flagged_lanes_;
+  std::size_t width_ = 0;  // topology width, cached for slice math
   RunReport report_;
   // Trace routing, sampled once per run: trace_ is true when ANY consumer
   // wants TraceEvents (the legacy record_trace collector and/or an
@@ -236,6 +297,9 @@ void Engine::launch_threads() {
   }
 
   warps_.resize(static_cast<std::size_t>(topo.total_warps()));
+  width_ = static_cast<std::size_t>(topo.width());
+  live_lanes_.resize(static_cast<std::size_t>(topo.total_warps()) * width_);
+  flagged_lanes_.resize(static_cast<std::size_t>(topo.total_warps()) * width_);
   for (DmmId j = 0; j < topo.num_dmms(); ++j) {
     const WarpId wbase = topo.first_warp(j);
     for (WarpId k = 0; k < topo.warps_on(j); ++k) {
@@ -245,6 +309,11 @@ void Engine::launch_threads() {
       w.first = topo.first_thread(j) + k * topo.width();
       w.count = std::min(topo.width(), topo.threads_on(j) - k * topo.width());
       w.live = w.count;
+      w.flagged = w.count;  // every lane needs its initial resume
+      for (std::int64_t i = 0; i < w.count; ++i) {
+        live_lanes(w)[i] = static_cast<std::int32_t>(i);
+        flagged_lanes(w)[i] = static_cast<std::int32_t>(i);
+      }
     }
   }
 
@@ -285,6 +354,21 @@ RunReport Engine::run() {
   observer_traces_ =
       machine_.observer_ != nullptr && machine_.observer_->wants_trace_events();
   trace_ = machine_.config_.record_trace || observer_traces_;
+
+  // Activate the coroutine frame arena for the WHOLE run: SimTask frames
+  // are created at launch, but SubTask frames are created whenever a
+  // thread enters a device subroutine mid-run, so the scope must span
+  // the scheduling loop too.  Resetting here is safe — frames die with
+  // the Engine, and the previous run's engine is long gone.  With
+  // use_frame_arena off the scope still opens (with nullptr), shielding
+  // this run from any arena an outer caller may have activated.
+  FrameArena* arena = nullptr;
+  if (machine_.config_.use_frame_arena) {
+    arena = machine_.external_arena_ != nullptr ? machine_.external_arena_
+                                                : &machine_.arena_;
+    arena->reset();
+  }
+  const FrameArena::Scope arena_scope(arena);
 
   launch_threads();
   report_.threads = machine_.num_threads();
@@ -328,10 +412,28 @@ void Engine::emit_trace(const TraceEvent& event) {
   if (observer_traces_) machine_.observer_->on_trace_event(event);
 }
 
+/// Batched resume: visit ONLY the lanes flagged since the last round
+/// (a per-warp list, not an all-lanes scan), so divergent and
+/// mostly-done warps skip dead and unflagged lanes entirely.  This is
+/// also the single place a lane can die, and therefore the single place
+/// `w.live` and the live-lane list are updated.
 void Engine::resume_flagged(WarpState& w) {
-  for (std::int64_t i = 0; i < w.count; ++i) {
-    ThreadState& ts = thread(w.first + i);
-    if (ts.done || !ts.need_resume) continue;
+  if (w.flagged == 0) {
+    w.uniform = UniformClass::kMixed;  // nothing fresh to classify
+    return;
+  }
+  // Classify while the freshly posted ops are still hot: when every live
+  // lane is resumed together (the SIMD-uniform common case) and they all
+  // post the same operation class, round() dispatches directly instead of
+  // re-scanning the warp.  A partial batch leaves older pending ops we did
+  // not look at, so only a full batch can establish uniformity.
+  bool uniform_valid = (w.flagged == w.live);
+  bool uniform_set = false;
+  UniformClass uniform = UniformClass::kMixed;
+  const std::int32_t* flagged = flagged_lanes(w);
+  bool lane_died = false;
+  for (std::int64_t k = 0; k < w.flagged; ++k) {
+    ThreadState& ts = thread(w.first + flagged[k]);
     ts.need_resume = false;
     ts.ctx.pending_ = Op{};
     // Resume the innermost active coroutine (a SubTask when the kernel is
@@ -341,11 +443,56 @@ void Engine::resume_flagged(WarpState& w) {
     if (ts.task.done()) {
       ts.task.rethrow_if_failed();
       ts.done = true;
-      --w.live;
-    } else {
-      HMM_ASSERT(ts.ctx.pending_.kind != Op::Kind::kNone,
-                 "thread suspended without posting an operation");
+      lane_died = true;
+      continue;
     }
+    const Op& op = ts.ctx.pending_;
+    HMM_ASSERT(op.kind != Op::Kind::kNone,
+               "thread suspended without posting an operation");
+    if (!uniform_valid) continue;
+    UniformClass cls = UniformClass::kMixed;
+    switch (op.kind) {
+      case Op::Kind::kRead:
+      case Op::Kind::kWrite:
+        cls = UniformClass::kMemory;
+        break;
+      case Op::Kind::kCompute:
+        cls = UniformClass::kCompute;
+        break;
+      case Op::Kind::kBarrier:
+        cls = UniformClass::kBarrier;
+        break;
+      case Op::Kind::kWarpSync:
+        cls = UniformClass::kWarpSync;
+        break;
+      case Op::Kind::kNone:
+        break;  // unreachable (asserted above)
+    }
+    if (!uniform_set) {
+      uniform = cls;
+      uniform_set = true;
+      w.uniform_space = op.space;
+      w.uniform_scope = op.scope;
+      w.uniform_cycles = op.cycles;
+    } else if (cls != uniform ||
+               (cls == UniformClass::kMemory && op.space != w.uniform_space) ||
+               (cls == UniformClass::kBarrier && op.scope != w.uniform_scope)) {
+      uniform_valid = false;  // divergent: round() falls back to the scan
+    } else if (cls == UniformClass::kCompute) {
+      w.uniform_cycles = std::max(w.uniform_cycles, op.cycles);
+    }
+  }
+  // Dead lanes posted nothing; uniformity is over the survivors.
+  w.uniform = (uniform_valid && uniform_set) ? uniform : UniformClass::kMixed;
+  w.flagged = 0;
+  if (lane_died) {
+    // Compact the live list in place, preserving ascending lane order.
+    std::int32_t* live = live_lanes(w);
+    std::int64_t kept = 0;
+    for (std::int64_t k = 0; k < w.live; ++k) {
+      if (!thread(w.first + live[k]).done) live[kept++] = live[k];
+    }
+    w.live = kept;
   }
 }
 
@@ -354,6 +501,30 @@ void Engine::round(WarpState& w) {
   if (w.live == 0) {
     finish_warp(w);
     return;
+  }
+
+  // Fast path: resume_flagged already classified the warp as uniform, so
+  // the per-lane scan below would just rediscover the same single class.
+  // Error detection is unaffected — mixed barrier scopes or a
+  // barrier/warp_sync split mark the warp kMixed and take the scan, which
+  // raises the diagnostic.
+  switch (w.uniform) {
+    case UniformClass::kMemory:
+      memory_round(w, w.uniform_space);
+      return;
+    case UniformClass::kCompute:
+      compute_round(w);
+      return;
+    case UniformClass::kBarrier:
+      barrier_round(w, w.uniform_scope);
+      return;
+    case UniformClass::kWarpSync:
+      // Every live lane reached the warp sync: reconverge for free.
+      flag_all_live(w);
+      requeue(w);
+      return;
+    case UniformClass::kMixed:
+      break;
   }
 
   // Classify the pending ops of live threads; service exactly one kind per
@@ -365,9 +536,9 @@ void Engine::round(WarpState& w) {
   std::int64_t warp_syncs = 0;
   BarrierScope scope = BarrierScope::kDmm;
   bool scope_set = false;
-  for (std::int64_t i = 0; i < w.count; ++i) {
-    const ThreadState& ts = thread(w.first + i);
-    if (ts.done) continue;
+  const std::int32_t* live = live_lanes(w);
+  for (std::int64_t k = 0; k < w.live; ++k) {
+    const ThreadState& ts = thread(w.first + live[k]);
     const Op& op = ts.ctx.pending_;
     switch (op.kind) {
       case Op::Kind::kRead:
@@ -403,10 +574,7 @@ void Engine::round(WarpState& w) {
     compute_round(w);
   } else if (warp_syncs == w.live) {
     // Every live lane reached the warp sync: reconverge for free.
-    for (std::int64_t i = 0; i < w.count; ++i) {
-      ThreadState& ts = thread(w.first + i);
-      if (!ts.done) ts.need_resume = true;
-    }
+    flag_all_live(w);
     requeue(w);
   } else {
     HMM_REQUIRE(!has_barrier || warp_syncs == 0,
@@ -419,26 +587,27 @@ void Engine::round(WarpState& w) {
 
 void Engine::memory_round(WarpState& w, MemorySpace space) {
   WarpBatch& batch = batch_scratch_;
-  std::vector<ThreadId>& participants = participants_scratch_;
+  std::vector<std::int32_t>& participants = participants_scratch_;
   batch.clear();
   participants.clear();
-  for (std::int64_t i = 0; i < w.count; ++i) {
-    ThreadState& ts = thread(w.first + i);
-    if (ts.done) continue;
+  const std::int32_t* live = live_lanes(w);
+  for (std::int64_t k = 0; k < w.live; ++k) {
+    const std::int32_t lane = live[k];
+    const ThreadState& ts = thread(w.first + lane);
     const Op& op = ts.ctx.pending_;
     if ((op.kind != Op::Kind::kRead && op.kind != Op::Kind::kWrite) ||
         op.space != space) {
       continue;
     }
     batch.push_back(Request{
-        .lane = i,
+        .lane = lane,
         .kind = op.kind == Op::Kind::kRead ? AccessKind::kRead
                                            : AccessKind::kWrite,
         .address = op.address,
         .value = op.value,
-        .thread = w.first + i,
+        .thread = w.first + lane,
     });
-    participants.push_back(w.first + i);
+    participants.push_back(lane);
   }
   HMM_ASSERT(!batch.empty(), "memory round without requests");
 
@@ -472,9 +641,8 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
   const ServicedBatch served = port.memory.service(batch);
 
   for (std::size_t i = 0; i < participants.size(); ++i) {
-    ThreadState& ts = thread(participants[i]);
-    ts.ctx.delivered_ = served.values[i];
-    ts.need_resume = true;
+    thread(w.first + participants[i]).ctx.delivered_ = served.values[i];
+    flag_lane(w, participants[i]);
   }
   w.clock = slot.data_ready;
   requeue(w);
@@ -496,20 +664,32 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
 
 void Engine::compute_round(WarpState& w) {
   Cycle cycles = 0;
-  std::vector<ThreadId>& participants = participants_scratch_;
+  const bool uniform = w.uniform == UniformClass::kCompute;
+  std::vector<std::int32_t>& participants = participants_scratch_;
   participants.clear();
-  for (std::int64_t i = 0; i < w.count; ++i) {
-    ThreadState& ts = thread(w.first + i);
-    if (ts.done || ts.ctx.pending_.kind != Op::Kind::kCompute) continue;
-    cycles = std::max(cycles, ts.ctx.pending_.cycles);  // SIMD: pay the max
-    participants.push_back(w.first + i);
+  if (uniform) {
+    // resume_flagged classified the warp uniform-compute and collected the
+    // SIMD max while the ops were hot: every live lane participates.
+    cycles = w.uniform_cycles;
+  } else {
+    const std::int32_t* live = live_lanes(w);
+    for (std::int64_t k = 0; k < w.live; ++k) {
+      const ThreadState& ts = thread(w.first + live[k]);
+      if (ts.ctx.pending_.kind != Op::Kind::kCompute) continue;
+      cycles = std::max(cycles, ts.ctx.pending_.cycles);  // SIMD: pay the max
+      participants.push_back(live[k]);
+    }
   }
   HMM_ASSERT(cycles >= 1, "compute round without work");
 
   const Cycle begin =
       exec_[static_cast<std::size_t>(w.dmm)].acquire(w.clock, cycles);
   w.clock = begin + cycles;
-  for (ThreadId t : participants) thread(t).need_resume = true;
+  if (uniform) {
+    flag_all_live(w);
+  } else {
+    for (std::int32_t lane : participants) flag_lane(w, lane);
+  }
   requeue(w);
 
   if (trace_) {
@@ -579,12 +759,10 @@ void Engine::release(BarrierDomain& domain) {
     HMM_ASSERT(w.waiting, "released a warp that was not parked");
     w.waiting = false;
     w.clock = t;
-    for (std::int64_t i = 0; i < w.count; ++i) {
-      ThreadState& ts = thread(w.first + i);
-      if (!ts.done && ts.ctx.pending_.kind == Op::Kind::kBarrier) {
-        ts.need_resume = true;
-      }
-    }
+    // Every live lane of a parked warp is at the barrier: barrier_round
+    // only runs once the priority classification has exhausted every
+    // other operation kind, so the whole live list gets flagged.
+    flag_all_live(w);
     requeue(w);
     if (trace_) {
       emit_trace(TraceEvent{

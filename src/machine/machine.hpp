@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "machine/frame_arena.hpp"
 #include "machine/observer.hpp"
 #include "machine/report.hpp"
 #include "machine/task.hpp"
@@ -62,6 +63,12 @@ struct MachineConfig {
   /// unbounded, O(run length) memory.  Production-scale traced runs
   /// should attach a telemetry::RingBufferSink instead (O(capacity)).
   bool record_trace = false;
+  /// Bump-allocate coroutine frames from a per-run FrameArena (default).
+  /// Off restores the pre-arena behaviour — every frame from global
+  /// new/delete — and exists for A/B measurement
+  /// (bench_engine_hotpath's "arena" section); results are identical
+  /// either way, only allocation traffic changes.
+  bool use_frame_arena = true;
 };
 
 class Machine {
@@ -112,6 +119,20 @@ class Machine {
   void set_observer(EngineObserver* observer) { observer_ = observer; }
   EngineObserver* observer() const { return observer_; }
 
+  // ---- coroutine frame allocation (machine/frame_arena.hpp) ------------
+  /// Replace the machine-owned frame arena with an external one for all
+  /// subsequent runs (nullptr restores the owned arena).  The active
+  /// arena is reset at the start of every run, so it must be dedicated
+  /// to this machine's runs, must outlive them, and must never be shared
+  /// across threads.  SweepRunner attaches one arena per worker thread
+  /// so chunk allocation is paid once per worker, not once per grid
+  /// point.  Ignored when MachineConfig::use_frame_arena is false.
+  void set_frame_arena(FrameArena* arena) { external_arena_ = arena; }
+  /// The arena the next run will use (the owned one unless overridden).
+  const FrameArena& frame_arena() const {
+    return external_arena_ != nullptr ? *external_arena_ : arena_;
+  }
+
  private:
   friend class Engine;
 
@@ -130,6 +151,8 @@ class Machine {
   std::vector<Port> shared_;      // one per DMM when configured
   std::optional<Port> global_;
   EngineObserver* observer_ = nullptr;  // not owned
+  FrameArena arena_;                    // frames of this machine's runs
+  FrameArena* external_arena_ = nullptr;  // not owned; overrides arena_
 };
 
 }  // namespace hmm

@@ -8,16 +8,32 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
 
 #include "core/error.hpp"
+#include "machine/frame_arena.hpp"
 
 namespace hmm {
 
 class [[nodiscard]] SimTask {
  public:
   struct promise_type {
+    // Frames come from the run's FrameArena when one is active (the
+    // engine opens a FrameArena::Scope around every Machine::run) and
+    // from global new otherwise — e.g. in unit tests that build tasks
+    // directly.  machine/frame_arena.hpp documents the contract.
+    static void* operator new(std::size_t size) {
+      return FrameArena::allocate_frame(size);
+    }
+    static void operator delete(void* frame) noexcept {
+      FrameArena::deallocate_frame(frame);
+    }
+    static void operator delete(void* frame, std::size_t) noexcept {
+      FrameArena::deallocate_frame(frame);
+    }
+
     SimTask get_return_object() {
       return SimTask(Handle::from_promise(*this));
     }
@@ -92,6 +108,20 @@ class [[nodiscard]] SimTask {
 class [[nodiscard]] SubTask {
  public:
   struct promise_type {
+    // Same frame-arena routing as SimTask::promise_type: SubTask frames
+    // are created mid-run, whenever a thread enters a device
+    // subroutine, so the engine keeps its arena scope open for the
+    // whole run, not just the launch.
+    static void* operator new(std::size_t size) {
+      return FrameArena::allocate_frame(size);
+    }
+    static void operator delete(void* frame) noexcept {
+      FrameArena::deallocate_frame(frame);
+    }
+    static void operator delete(void* frame, std::size_t) noexcept {
+      FrameArena::deallocate_frame(frame);
+    }
+
     SubTask get_return_object() {
       return SubTask(Handle::from_promise(*this));
     }

@@ -15,6 +15,10 @@
 // issued; issuing two ops without suspension is a programming error and
 // raises PreconditionError (threads are RAMs with one outstanding memory
 // request, §II).
+//
+// Allocation: the kernel coroutine's frame (and every SubTask frame it
+// awaits) comes from the run's FrameArena — see machine/frame_arena.hpp
+// for the contract and task.hpp for the operator new/delete wiring.
 #pragma once
 
 #include <coroutine>

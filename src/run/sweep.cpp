@@ -62,7 +62,12 @@ std::vector<RunReport> SweepRunner::run(std::span<const SweepJob> sweep) const {
     const SweepJob& job = sweep[static_cast<std::size_t>(i)];
     HMM_REQUIRE(static_cast<bool>(job.kernel),
                 "SweepRunner: every job needs a kernel");
+    // One frame arena per worker thread, attached to every grid point's
+    // machine: the run resets it (cheap, chunks are kept), so chunk
+    // allocation is paid once per worker instead of once per grid point.
+    static thread_local FrameArena arena;
     Machine machine(job.config);
+    machine.set_frame_arena(&arena);
     machine.set_observer(job.observer);
     if (job.setup) job.setup(machine);
     RunReport report = machine.run(job.kernel);

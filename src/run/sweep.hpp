@@ -6,9 +6,10 @@
 // and butter of every bench/ablation binary and of hmmsim — therefore
 // decompose into embarrassingly parallel grid points.  SweepRunner runs
 // them across a std::thread pool in which every worker owns its own
-// Machine; nothing is shared between grid points, so results are
-// BIT-IDENTICAL regardless of the thread count (locked by
-// tests/determinism_test.cpp).
+// Machine (and its own coroutine FrameArena, reused across the worker's
+// grid points — see Machine::set_frame_arena); nothing is shared between
+// grid points, so results are BIT-IDENTICAL regardless of the thread
+// count (locked by tests/determinism_test.cpp).
 //
 // Two entry points:
 //

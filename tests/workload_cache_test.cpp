@@ -1,0 +1,54 @@
+// WorkloadCache: one immutable buffer per distinct (n, seed, lo, hi),
+// shared across grid points — including concurrent SweepRunner workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "alg/workload.hpp"
+#include "run/sweep.hpp"
+
+namespace hmm {
+namespace {
+
+TEST(WorkloadCacheTest, SameKeySharesOneBuffer) {
+  alg::WorkloadCache cache;
+  const auto a = cache.random_words(1024, 7);
+  const auto b = cache.random_words(1024, 7);
+  EXPECT_EQ(a.get(), b.get());  // pointer equality: one buffer
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(WorkloadCacheTest, MatchesTheUncachedGenerator) {
+  alg::WorkloadCache cache;
+  EXPECT_EQ(*cache.random_words(512, 3), alg::random_words(512, 3));
+  EXPECT_EQ(*cache.random_words(512, 3, 0, 3),
+            alg::random_words(512, 3, 0, 3));
+}
+
+TEST(WorkloadCacheTest, DistinctKeysGetDistinctBuffers) {
+  alg::WorkloadCache cache;
+  const auto base = cache.random_words(256, 1);
+  EXPECT_NE(base.get(), cache.random_words(257, 1).get());   // n differs
+  EXPECT_NE(base.get(), cache.random_words(256, 2).get());   // seed differs
+  EXPECT_NE(base.get(), cache.random_words(256, 1, 0, 3).get());  // range
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(WorkloadCacheTest, SweepGridPointsShareOneBuffer) {
+  // Two grid points (different machine shapes, same workload) evaluated
+  // through SweepRunner::for_each must see the SAME buffer, making sweep
+  // setup O(distinct workloads) instead of O(grid points).
+  alg::WorkloadCache cache;
+  std::vector<std::shared_ptr<const std::vector<Word>>> seen(2);
+  const run::SweepRunner pool(2);
+  pool.for_each(2, [&](std::int64_t i) {
+    seen[static_cast<std::size_t>(i)] = cache.random_words(4096, 42);
+  });
+  ASSERT_NE(seen[0], nullptr);
+  EXPECT_EQ(seen[0].get(), seen[1].get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hmm

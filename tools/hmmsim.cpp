@@ -23,6 +23,7 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,11 @@ struct Cli {
   bool metrics_csv = false;                 ///< --metrics=csv
 };
 
+// Shared immutable workload cache: grid points differing only in machine
+// shape reuse one buffer per distinct (n, seed) instead of regenerating
+// it per point (thread-safe; sweep workers only read the buffers).
+alg::WorkloadCache workloads;
+
 // hmmsim --check exit codes (documented in docs/ANALYSIS.md).
 constexpr int kExitRace = 3;
 constexpr int kExitBounds = 4;
@@ -108,7 +114,8 @@ int usage(const char* argv0) {
       "                    single operating point).  KINDS is a comma list\n"
       "                    of race,bounds,conflict (default: all).  Exit\n"
       "                    codes: 3 race, 4 bounds/uninit, 5 certification\n"
-      "                    failure.\n"
+      "                    failure.  Composes with --metrics/--trace: one\n"
+      "                    checked run can also emit both.\n"
       "  --trace=FILE      export a Chrome trace-event JSON of the run\n"
       "                    (open in chrome://tracing or Perfetto; single\n"
       "                    operating point only)\n"
@@ -143,7 +150,13 @@ bool parse_check_kinds(const char* s, analysis::CheckerConfig& cfg) {
   return cfg.race || cfg.bounds || cfg.conflict;
 }
 
-bool parse_list(const char* s, std::vector<std::int64_t>& out) {
+/// Parse a comma list of integers.  Rejects — by returning false, which
+/// the caller maps to the documented usage exit code — empty tokens,
+/// trailing garbage, values below `min_value` (axes must be >= 1; --jobs
+/// and --seed accept 0) and anything that overflows int64
+/// (std::from_chars reports out_of_range instead of saturating).
+bool parse_list(const char* s, std::vector<std::int64_t>& out,
+                std::int64_t min_value = 1) {
   out.clear();
   std::string token;
   for (const char* q = s;; ++q) {
@@ -152,7 +165,10 @@ bool parse_list(const char* s, std::vector<std::int64_t>& out) {
       std::int64_t value = 0;
       const auto [end, ec] =
           std::from_chars(token.data(), token.data() + token.size(), value);
-      if (ec != std::errc{} || end != token.data() + token.size()) return false;
+      if (ec != std::errc{} || end != token.data() + token.size() ||
+          value < min_value) {
+        return false;
+      }
       out.push_back(value);
       token.clear();
       if (*q == '\0') break;
@@ -183,9 +199,10 @@ bool parse(int argc, char** argv, Cli& cli) {
       cli.trace_path = a.substr(std::strlen("--trace="));
       if (cli.trace_path.empty()) return false;
     } else if (a.rfind("--trace-capacity=", 0) == 0) {
+      // A zero-capacity ring would silently keep no events; reject it.
       std::vector<std::int64_t> one;
-      if (!parse_list(a.c_str() + std::strlen("--trace-capacity="), one) ||
-          one.size() != 1 || one[0] < 0) {
+      if (!parse_list(a.c_str() + std::strlen("--trace-capacity="), one, 1) ||
+          one.size() != 1) {
         return false;
       }
       cli.trace_capacity = one[0];
@@ -213,7 +230,7 @@ bool parse(int argc, char** argv, Cli& cli) {
       else if (a == "--d") axis = &cli.d;
       else if (a == "--seed" || a == "--jobs") {
         std::vector<std::int64_t> one;
-        if (!parse_list(v, one)) return false;
+        if (!parse_list(v, one, 0)) return false;
         if (one.size() != 1) {
           // A comma list here used to silently take the first value;
           // these options are scalars, not sweep axes.
@@ -277,69 +294,69 @@ Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
   };
 
   if (o.algorithm == "sum") {
-    const auto xs = alg::random_words(o.n, o.seed);
+    const auto xs = workloads.random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::sum_hmm(xs, o.d, pd, o.w, o.l, observer);
+      const auto r = alg::sum_hmm(*xs, o.d, pd, o.w, o.l, observer);
       finish(r.report, "sum = " + std::to_string(r.sum));
     } else {
-      const auto r = alg::sum_umm(xs, o.p, o.w, o.l, observer);
+      const auto r = alg::sum_umm(*xs, o.p, o.w, o.l, observer);
       finish(r.report, "sum = " + std::to_string(r.sum));
     }
   } else if (o.algorithm == "scan") {
-    const auto xs = alg::random_words(o.n, o.seed);
+    const auto xs = workloads.random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::prefix_sums_hmm(xs, o.d, pd, o.w, o.l, observer);
+      const auto r = alg::prefix_sums_hmm(*xs, o.d, pd, o.w, o.l, observer);
       finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
     } else {
-      const auto r = alg::prefix_sums_umm(xs, o.p, o.w, o.l, observer);
+      const auto r = alg::prefix_sums_umm(*xs, o.p, o.w, o.l, observer);
       finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
     }
   } else if (o.algorithm == "conv") {
-    const auto a = alg::random_words(o.m, o.seed);
+    const auto a = workloads.random_words(o.m, o.seed);
     const auto x =
-        alg::random_words(alg::conv_signal_length(o.m, o.n), o.seed + 1);
+        workloads.random_words(alg::conv_signal_length(o.m, o.n), o.seed + 1);
     if (hmm_model) {
-      const auto r = alg::convolution_hmm(a, x, o.d, pd, o.w, o.l, observer);
+      const auto r = alg::convolution_hmm(*a, *x, o.d, pd, o.w, o.l, observer);
       finish(r.report, "z[0] = " + std::to_string(r.z.front()));
     } else {
-      const auto r = alg::convolution_umm(a, x, o.p, o.w, o.l, observer);
+      const auto r = alg::convolution_umm(*a, *x, o.p, o.w, o.l, observer);
       finish(r.report, "z[0] = " + std::to_string(r.z.front()));
     }
   } else if (o.algorithm == "sort") {
-    const auto xs = alg::random_words(o.n, o.seed);
+    const auto xs = workloads.random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::sort_hmm(xs, o.d, pd, o.w, o.l, observer);
+      const auto r = alg::sort_hmm(*xs, o.d, pd, o.w, o.l, observer);
       finish(r.report, "min = " + std::to_string(r.sorted.front()) +
                            ", max = " + std::to_string(r.sorted.back()));
     } else {
-      const auto r = alg::sort_umm(xs, o.p, o.w, o.l, observer);
+      const auto r = alg::sort_umm(*xs, o.p, o.w, o.l, observer);
       finish(r.report, "min = " + std::to_string(r.sorted.front()) +
                            ", max = " + std::to_string(r.sorted.back()));
     }
   } else if (o.algorithm == "matmul") {
-    const auto a = alg::random_words(o.n * o.n, o.seed);
-    const auto b = alg::random_words(o.n * o.n, o.seed + 1);
+    const auto a = workloads.random_words(o.n * o.n, o.seed);
+    const auto b = workloads.random_words(o.n * o.n, o.seed + 1);
     if (hmm_model) {
       const std::int64_t tile = std::min<std::int64_t>(o.n, o.w);
-      const auto r = alg::matmul_hmm_tiled(a, b, o.n, o.d, pd, o.w, o.l, tile,
+      const auto r = alg::matmul_hmm_tiled(*a, *b, o.n, o.d, pd, o.w, o.l, tile,
                                            observer);
       finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
     } else {
-      const auto r = alg::matmul_umm(a, b, o.n, o.p, o.w, o.l, observer);
+      const auto r = alg::matmul_umm(*a, *b, o.n, o.p, o.w, o.l, observer);
       finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
     }
   } else if (o.algorithm == "match") {
-    const auto pat = alg::random_words(o.m, o.seed, 0, 3);
-    const auto txt = alg::random_words(o.n, o.seed + 1, 0, 3);
+    const auto pat = workloads.random_words(o.m, o.seed, 0, 3);
+    const auto txt = workloads.random_words(o.n, o.seed + 1, 0, 3);
     if (hmm_model) {
-      const auto r = alg::string_match_hmm(pat, txt, o.d, pd, o.w, o.l,
+      const auto r = alg::string_match_hmm(*pat, *txt, o.d, pd, o.w, o.l,
                                            observer);
       finish(r.report,
              "min distance = " +
                  std::to_string(*std::min_element(r.distance.begin(),
                                                   r.distance.end())));
     } else {
-      const auto r = alg::string_match_umm(pat, txt, o.p, o.w, o.l, observer);
+      const auto r = alg::string_match_umm(*pat, *txt, o.p, o.w, o.l, observer);
       finish(r.report,
              "min distance = " +
                  std::to_string(*std::min_element(r.distance.begin(),
@@ -351,10 +368,26 @@ Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
   return out;
 }
 
+void write_trace_file(const std::string& path,
+                      const telemetry::RingBufferSink& sink);
+void print_metrics(const MetricsSnapshot& snapshot, bool csv);
+
+/// Print a table with its title line ("== checker findings (...) =="),
+/// so runs that emit several tables stay self-describing.
+void print_table(const Table& table) {
+  std::ostringstream os;
+  table.print(os);
+  std::printf("%s", os.str().c_str());
+}
+
 /// --check driver: builds the algorithm's machine explicitly, attaches an
 /// AccessChecker before the run, prints the findings and histogram tables
-/// and maps the verdict to an exit code.
-int run_checked(const Options& o, const analysis::CheckerConfig& cfg) {
+/// and maps the verdict to an exit code.  Telemetry composes instead of
+/// conflicting: --metrics and --trace ride along through an
+/// ObserverFanout, so one checked run can also produce the metrics
+/// tables and a Chrome trace.
+int run_checked(const Options& o, const Cli& cli) {
+  const analysis::CheckerConfig& cfg = cli.check_cfg;
   const bool hmm_model = o.model == "hmm";
   const std::int64_t pd = hmm_model ? o.p / o.d : 0;
   if (hmm_model && (o.p % o.d != 0 || pd < 1)) {
@@ -383,12 +416,23 @@ int run_checked(const Options& o, const analysis::CheckerConfig& cfg) {
                      : Machine::umm(o.w, o.l, o.p, o.n);
   }();
 
-  const auto xs = alg::random_words(o.n, o.seed);
-  machine.global_memory().load(0, xs);
+  const auto xs = workloads.random_words(o.n, o.seed);
+  machine.global_memory().load(0, *xs);
 
   analysis::AccessChecker checker(machine, cfg);
   checker.declare_initialized(MemorySpace::kGlobal, 0, o.n);
-  machine.set_observer(&checker);
+
+  // The checker no longer owns the observer slot exclusively: fan out to
+  // any telemetry consumers requested alongside it.
+  telemetry::RingBufferSink sink(cli.trace_capacity);
+  telemetry::MetricsRegistry registry;
+  telemetry::ObserverFanout fanout;
+  fanout.add(&checker);
+  if (!cli.trace_path.empty()) fanout.add(&sink);
+  if (cli.metrics) fanout.add(&registry);
+  machine.set_observer(fanout.size() > 1
+                           ? static_cast<EngineObserver*>(&fanout)
+                           : static_cast<EngineObserver*>(&checker));
 
   Outcome out;
   if (o.algorithm == "sum") {
@@ -415,10 +459,16 @@ int run_checked(const Options& o, const analysis::CheckerConfig& cfg) {
               static_cast<long long>(o.d));
   std::printf("  %s\n  time: %lld time units\n\n", out.summary.c_str(),
               static_cast<long long>(out.time));
-  std::printf("%s\n", findings_table(checker).to_ascii().c_str());
+  print_table(findings_table(checker));
+  std::printf("\n");
   if (cfg.conflict) {
-    std::printf("%s\n", conflict_histogram_table(checker).to_ascii().c_str());
+    print_table(conflict_histogram_table(checker));
+    std::printf("\n");
   }
+  // Telemetry output rides along even when findings map to a nonzero
+  // exit code below — a failed check is exactly when the trace helps.
+  if (!cli.trace_path.empty()) write_trace_file(cli.trace_path, sink);
+  if (cli.metrics) print_metrics(registry.snapshot(), cli.metrics_csv);
 
   using analysis::FindingKind;
   if (checker.count(FindingKind::kRace) > 0) return kExitRace;
@@ -461,8 +511,10 @@ void print_metrics(const MetricsSnapshot& snapshot, bool csv) {
     std::printf("%s\n%s", summary.to_csv().c_str(),
                 histogram.to_csv().c_str());
   } else {
-    std::printf("\n%s\n%s", summary.to_ascii().c_str(),
-                histogram.to_ascii().c_str());
+    std::printf("\n");
+    print_table(summary);
+    std::printf("\n");
+    print_table(histogram);
   }
 }
 
@@ -500,13 +552,7 @@ int main(int argc, char** argv) {
                      "sweep\n");
         return 2;
       }
-      if (cli.metrics || !cli.trace_path.empty()) {
-        std::fprintf(stderr,
-                     "error: --check already owns the observer slot; drop "
-                     "--metrics/--trace\n");
-        return 2;
-      }
-      return run_checked(grid.front(), cli.check_cfg);
+      return run_checked(grid.front(), cli);
     }
     if (grid.size() == 1) {
       const Options& opt = grid.front();
