@@ -8,10 +8,13 @@ set -eu
 BUILD="${1:-build}"
 
 cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
+cmake --build "$BUILD" -j
 
 echo "== tests =="
-ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+ctest --test-dir "$BUILD" -j 2>&1 | tee test_output.txt
+
+echo "== docs (every documented command runs against this build) =="
+sh "$(dirname "$0")/tools/doccheck.sh" "$BUILD"
 
 echo "== experiments (tables, figures, ablations, extensions) =="
 # The loop writes its verdict to a file because the pipe into tee runs

@@ -1,0 +1,47 @@
+#include "report/sweep_csv.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hmm {
+
+std::string sweep_csv_header(bool metrics, bool sharded) {
+  std::string header = "algorithm,model,n,m,p,w,l,d,time,global_stages";
+  if (metrics) {
+    header +=
+        ",conflict_degree_max,address_groups_max,memory_stall,barrier_stall,"
+        "latency_hiding";
+  }
+  if (sharded) header += ",grid_index,shard,fingerprint";
+  return header;
+}
+
+std::string sweep_csv_row(const SweepPoint& point, const SweepMeasurement& m,
+                          const ShardTag* tag) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s,%s,%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64
+                ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64,
+                point.algorithm.c_str(), point.model.c_str(), point.n, point.m,
+                point.p, point.w, point.l, point.d,
+                static_cast<std::int64_t>(m.time), m.global_stages);
+  std::string row = buf;
+  if (m.metrics != nullptr) {
+    const MetricsSnapshot& s = *m.metrics;
+    std::snprintf(buf, sizeof buf,
+                  ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%.6f",
+                  s.conflict_degree.max_stages, s.address_groups.max_stages,
+                  static_cast<std::int64_t>(s.memory_stall_cycles),
+                  static_cast<std::int64_t>(s.barrier_stall_cycles),
+                  s.latency_hiding);
+    row += buf;
+  }
+  if (tag != nullptr) {
+    std::snprintf(buf, sizeof buf, ",%" PRId64 ",%" PRId64 ",%s",
+                  tag->grid_index, tag->shard, tag->fingerprint.c_str());
+    row += buf;
+  }
+  return row;
+}
+
+}  // namespace hmm

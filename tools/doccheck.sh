@@ -1,0 +1,101 @@
+#!/usr/bin/env sh
+# doccheck — executable documentation.
+#
+# Extracts every ```sh / ```console fenced block that is immediately
+# preceded (modulo blank lines) by a `<!-- doccheck -->` marker from
+# README.md and docs/*.md, and runs it against the built binaries.
+# Documented commands that drift from the CLI therefore fail CI instead
+# of rotting (ctest name: doccheck, label: docs-smoke).
+#
+#   usage: doccheck.sh BUILD_DIR [FILE.md ...]
+#
+# Each block runs with `sh -eu` in its own scratch directory with
+# BUILD_DIR/tools, BUILD_DIR/examples and BUILD_DIR/bench prepended to
+# PATH, so docs write the commands exactly as a user would type them
+# (`hmmsim ...`, `hmm-merge ...`).  In ```console blocks only the lines
+# starting with "$ " run (the rest is expected output, unchecked); in
+# ```sh blocks every line runs.
+set -u
+
+BUILD=$(CDPATH= cd "$1" && pwd) || exit 2
+shift
+ROOT=$(CDPATH= cd "$(dirname "$0")/.." && pwd)
+
+if [ "$#" -gt 0 ]; then
+  FILES="$*"
+else
+  FILES="$ROOT/README.md $(ls "$ROOT"/docs/*.md)"
+fi
+
+PATH="$BUILD/tools:$BUILD/examples:$BUILD/bench:$PATH"
+export PATH
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/doccheck.XXXXXX") || exit 1
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+# Pass 1: extract armed blocks into $WORK/block-NNN.sh (+ .src sidecar
+# naming the source file/line for diagnostics).
+total=0
+for file in $FILES; do
+  [ -f "$file" ] || { echo "doccheck: no such file: $file" >&2; exit 2; }
+  total=$(awk -v out="$WORK" -v src="$file" -v n="$total" '
+    BEGIN { armed = 0; fence = "" }
+    /^<!-- doccheck -->[[:space:]]*$/ { armed = 1; next }
+    fence == "" && /^```(sh|console)[[:space:]]*$/ {
+      if (armed) {
+        fence = ($0 ~ /console/) ? "console" : "sh"
+        n++
+        block = sprintf("%s/block-%03d.sh", out, n)
+        meta = sprintf("%s/block-%03d.src", out, n)
+        printf "%s:%d\n", src, FNR > meta
+        close(meta)
+      }
+      armed = 0
+      next
+    }
+    fence != "" && /^```[[:space:]]*$/ { fence = ""; close(block); next }
+    fence == "sh" { print > block; next }
+    fence == "console" {
+      if ($0 ~ /^\$ /) print substr($0, 3) > block
+      next
+    }
+    # Any other non-blank line between the marker and a fence disarms
+    # the marker, so a stray tag cannot arm a distant block.
+    armed && !/^[[:space:]]*$/ { armed = 0 }
+    END { print n }
+  ' "$file")
+done
+
+if [ "$total" -eq 0 ]; then
+  echo "doccheck: no tagged blocks found (expected <!-- doccheck --> in $FILES)" >&2
+  exit 1
+fi
+
+# Pass 2: run every block in its own scratch directory.
+failures=0
+ran=0
+for block in "$WORK"/block-*.sh; do
+  [ -f "$block" ] || continue
+  src=$(cat "${block%.sh}.src")
+  ran=$((ran + 1))
+  dir="$WORK/run-$ran"
+  mkdir "$dir"
+  echo "== doccheck [$ran/$total] $src =="
+  if (cd "$dir" && sh -eu "$block" > "$dir/output.txt" 2>&1); then
+    :
+  else
+    status=$?
+    echo "doccheck: FAILED (exit $status): block at $src" >&2
+    echo "--- commands ---" >&2
+    cat "$block" >&2
+    echo "--- output ---" >&2
+    cat "$dir/output.txt" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "doccheck: $failures of $ran blocks FAILED" >&2
+  exit 1
+fi
+echo "doccheck: OK ($ran blocks ran clean)"

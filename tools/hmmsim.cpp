@@ -38,6 +38,8 @@
 #include "core/version.hpp"
 #include "report/findings.hpp"
 #include "report/metrics.hpp"
+#include "report/sweep_csv.hpp"
+#include "run/shard.hpp"
 #include "run/sweep.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/fanout.hpp"
@@ -81,6 +83,10 @@ struct Cli {
   std::int64_t trace_capacity = 1 << 16;    ///< ring sink window (events)
   bool metrics = false;
   bool metrics_csv = false;                 ///< --metrics=csv
+  std::string emit_manifest_path;           ///< --emit-manifest=FILE
+  std::int64_t shards = 0;                  ///< --shards=K (with emit)
+  bool sharded = false;                     ///< --shard=i/K given
+  run::ShardPlan shard;
 };
 
 // Shared immutable workload cache: grid points differing only in machine
@@ -116,6 +122,15 @@ int usage(const char* argv0) {
       "                    codes: 3 race, 4 bounds/uninit, 5 certification\n"
       "                    failure.  Composes with --metrics/--trace: one\n"
       "                    checked run can also emit both.\n"
+      "  --emit-manifest=FILE  with --shards=K: write a JSON job manifest\n"
+      "                    splitting the grid round-robin into K shards\n"
+      "                    (one entry per shard with the exact argv to run)\n"
+      "                    and exit without simulating.  See docs/API.md.\n"
+      "  --shards=K        shard count for --emit-manifest (K >= 1)\n"
+      "  --shard=i/K       run only shard i of K (grid indices congruent\n"
+      "                    to i mod K) and emit CSV with a header plus\n"
+      "                    grid_index,shard,fingerprint columns, ready for\n"
+      "                    tools/hmm-merge.  Excludes --check/--trace.\n"
       "  --trace=FILE      export a Chrome trace-event JSON of the run\n"
       "                    (open in chrome://tracing or Perfetto; single\n"
       "                    operating point only)\n"
@@ -206,6 +221,22 @@ bool parse(int argc, char** argv, Cli& cli) {
         return false;
       }
       cli.trace_capacity = one[0];
+    } else if (a.rfind("--emit-manifest=", 0) == 0) {
+      cli.emit_manifest_path = a.substr(std::strlen("--emit-manifest="));
+      if (cli.emit_manifest_path.empty()) return false;
+    } else if (a.rfind("--shards=", 0) == 0) {
+      std::vector<std::int64_t> one;
+      if (!parse_list(a.c_str() + std::strlen("--shards="), one, 1) ||
+          one.size() != 1) {
+        return false;
+      }
+      cli.shards = one[0];
+    } else if (a.rfind("--shard=", 0) == 0) {
+      if (!run::parse_shard_spec(a.c_str() + std::strlen("--shard="),
+                                 cli.shard)) {
+        return false;
+      }
+      cli.sharded = true;
     } else if (a == "--check") {
       cli.check = true;
     } else if (a.rfind("--check=", 0) == 0) {
@@ -244,7 +275,29 @@ bool parse(int argc, char** argv, Cli& cli) {
       if (axis && !parse_list(v, *axis)) return false;
     }
   }
+  // --shards only modifies --emit-manifest, which in turn requires it;
+  // half a sharding request is a usage error, as is asking one process
+  // to both plan shards and run one.
+  if (cli.emit_manifest_path.empty() != (cli.shards == 0)) return false;
+  if (!cli.emit_manifest_path.empty() && cli.sharded) return false;
   return (cli.model == "umm" || cli.model == "hmm") && cli.jobs >= 0;
+}
+
+/// The sweep identity the manifest fingerprint covers (everything that
+/// determines the CSV rows; --jobs is runner-local and excluded).
+run::GridSpec grid_spec(const Cli& cli) {
+  run::GridSpec spec;
+  spec.algorithm = cli.algorithm;
+  spec.model = cli.model;
+  spec.n = cli.n;
+  spec.m = cli.m;
+  spec.p = cli.p;
+  spec.w = cli.w;
+  spec.l = cli.l;
+  spec.d = cli.d;
+  spec.seed = cli.seed;
+  spec.metrics = cli.metrics;
+  return spec;
 }
 
 /// Cartesian grid in row-major (n, m, p, w, l, d) order.
@@ -520,24 +573,17 @@ void print_metrics(const MetricsSnapshot& snapshot, bool csv) {
 
 }  // namespace
 
-void print_csv_row(const Options& opt, const Outcome& out, bool metrics) {
-  std::printf("%s,%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld",
-              opt.algorithm.c_str(), opt.model.c_str(),
-              static_cast<long long>(opt.n), static_cast<long long>(opt.m),
-              static_cast<long long>(opt.p), static_cast<long long>(opt.w),
-              static_cast<long long>(opt.l), static_cast<long long>(opt.d),
-              static_cast<long long>(out.time),
-              static_cast<long long>(out.global_stages));
-  if (metrics) {
-    const MetricsSnapshot s = out.metrics.value_or(MetricsSnapshot{});
-    std::printf(",%lld,%lld,%lld,%lld,%.6f",
-                static_cast<long long>(s.conflict_degree.max_stages),
-                static_cast<long long>(s.address_groups.max_stages),
-                static_cast<long long>(s.memory_stall_cycles),
-                static_cast<long long>(s.barrier_stall_cycles),
-                s.latency_hiding);
-  }
-  std::printf("\n");
+/// One sweep CSV row through the shared schema (report/sweep_csv.hpp),
+/// so sharded and single-process rows can never drift apart.
+void print_csv_row(const Options& opt, const Outcome& out, bool metrics,
+                   const ShardTag* tag = nullptr) {
+  const SweepPoint point{opt.algorithm, opt.model, opt.n, opt.m,
+                         opt.p,         opt.w,     opt.l, opt.d};
+  const MetricsSnapshot snapshot =
+      metrics ? out.metrics.value_or(MetricsSnapshot{}) : MetricsSnapshot{};
+  const SweepMeasurement measured{out.time, out.global_stages,
+                                  metrics ? &snapshot : nullptr};
+  std::printf("%s\n", sweep_csv_row(point, measured, tag).c_str());
 }
 
 int main(int argc, char** argv) {
@@ -545,7 +591,44 @@ int main(int argc, char** argv) {
   try {
     if (!parse(argc, argv, cli)) return usage(argv[0]);
     const std::vector<Options> grid = expand_grid(cli);
+
+    // Plan-only mode: write the K-shard job manifest and exit without
+    // simulating anything.
+    if (!cli.emit_manifest_path.empty()) {
+      if (cli.check || !cli.trace_path.empty()) {
+        std::fprintf(stderr,
+                     "error: --emit-manifest only composes with sweep flags "
+                     "(not --check/--trace)\n");
+        return 2;
+      }
+      const run::GridSpec spec = grid_spec(cli);
+      const run::Manifest manifest = run::plan_manifest(
+          spec, cli.shards, "hmmsim", sweep_csv_header(cli.metrics, true));
+      std::ofstream out(cli.emit_manifest_path);
+      if (!out) {
+        throw PreconditionError("cannot open manifest file: " +
+                                cli.emit_manifest_path);
+      }
+      out << run::manifest_json(manifest);
+      if (!out) {
+        throw PreconditionError("failed writing manifest file: " +
+                                cli.emit_manifest_path);
+      }
+      std::printf("manifest: %s (%lld grid points, %lld shards, "
+                  "fingerprint %s)\n",
+                  cli.emit_manifest_path.c_str(),
+                  static_cast<long long>(manifest.grid_points),
+                  static_cast<long long>(manifest.shards),
+                  manifest.fingerprint.c_str());
+      return 0;
+    }
+
     if (cli.check) {
+      if (cli.sharded) {
+        std::fprintf(stderr,
+                     "error: --check does not compose with --shard\n");
+        return 2;
+      }
       if (grid.size() != 1) {
         std::fprintf(stderr,
                      "error: --check needs a single operating point, not a "
@@ -554,6 +637,47 @@ int main(int argc, char** argv) {
       }
       return run_checked(grid.front(), cli);
     }
+
+    // Shard mode: run only the owned grid points and emit sharded CSV
+    // (header + grid_index,shard,fingerprint columns) for hmm-merge.
+    // Always CSV with a header, whatever the grid size: the merge tool
+    // validates header consistency across every shard file.
+    if (cli.sharded) {
+      if (!cli.trace_path.empty()) {
+        std::fprintf(stderr,
+                     "error: --trace needs a single operating point, not a "
+                     "shard run\n");
+        return 2;
+      }
+      const run::GridSpec spec = grid_spec(cli);
+      const std::string fingerprint = spec.fingerprint();
+      const std::vector<std::int64_t> own =
+          cli.shard.indices(static_cast<std::int64_t>(grid.size()));
+      std::vector<Outcome> outcomes(own.size());
+      const run::SweepRunner pool(cli.jobs);
+      pool.for_each(static_cast<std::int64_t>(own.size()),
+                    [&](std::int64_t i) {
+                      const Options& opt =
+                          grid[static_cast<std::size_t>(
+                              own[static_cast<std::size_t>(i)])];
+                      Outcome& out = outcomes[static_cast<std::size_t>(i)];
+                      if (cli.metrics) {
+                        telemetry::MetricsRegistry registry;
+                        out = run_algorithm(opt, &registry);
+                        out.metrics = registry.snapshot();
+                      } else {
+                        out = run_algorithm(opt);
+                      }
+                    });
+      std::printf("%s\n", sweep_csv_header(cli.metrics, true).c_str());
+      for (std::size_t i = 0; i < own.size(); ++i) {
+        const ShardTag tag{own[i], cli.shard.shard, fingerprint};
+        print_csv_row(grid[static_cast<std::size_t>(own[i])], outcomes[i],
+                      cli.metrics, &tag);
+      }
+      return 0;
+    }
+
     if (grid.size() == 1) {
       const Options& opt = grid.front();
 
@@ -611,10 +735,7 @@ int main(int argc, char** argv) {
                     }
                   });
     if (!cli.csv) {
-      std::printf("algorithm,model,n,m,p,w,l,d,time,global_stages%s\n",
-                  cli.metrics ? ",conflict_degree_max,address_groups_max,"
-                                "memory_stall,barrier_stall,latency_hiding"
-                              : "");
+      std::printf("%s\n", sweep_csv_header(cli.metrics, false).c_str());
     }
     for (std::size_t i = 0; i < grid.size(); ++i) {
       print_csv_row(grid[i], outcomes[i], cli.metrics);

@@ -1,0 +1,84 @@
+#!/usr/bin/env sh
+# End-to-end lock for cross-process sweep sharding (ISSUE 5 acceptance
+# criteria; run as the `shard_roundtrip` ctest):
+#
+#   1. a 2-shard sweep merged by hmm-merge is IDENTICAL to the
+#      single-process `hmmsim --csv` run (byte-for-byte; sorting both
+#      only guards against future reordering of either side);
+#   2. a 1-shard manifest merges to the same bytes as plain --csv;
+#   3. hmm-merge --strict exits 5 when a shard is withheld;
+#   4. duplicate rows exit 4, a foreign fingerprint exits 3;
+#   5. manifest emission and shard runs are deterministic across
+#      repeated invocations.
+#
+#   usage: shard_roundtrip.sh /path/to/hmmsim /path/to/hmm-merge
+set -eu
+
+HMMSIM="$1"
+MERGE="$2"
+GRID="sum --n 2048,8192 --l 100,400 --d 4,16"
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/shard_roundtrip.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+cd "$TMP"
+
+fail() { echo "shard_roundtrip: FAIL: $1" >&2; exit 1; }
+
+# Expect a specific exit code from a command that is allowed to fail.
+expect_exit() {
+  want="$1"; shift
+  set +e
+  "$@" >/dev/null 2>&1
+  got=$?
+  set -e
+  [ "$got" -eq "$want" ] || fail "expected exit $want, got $got: $*"
+}
+
+echo "== reference single-process sweep =="
+$HMMSIM $GRID --csv > full.csv
+[ "$(wc -l < full.csv)" -eq 8 ] || fail "expected 8 grid points"
+
+echo "== 2-shard round trip =="
+$HMMSIM $GRID --emit-manifest=m2.json --shards=2 > /dev/null
+$HMMSIM $GRID --shard=0/2 > s0.csv
+$HMMSIM $GRID --shard=1/2 > s1.csv
+$MERGE --manifest=m2.json s0.csv s1.csv > merged2.csv 2> coverage2.txt
+cmp full.csv merged2.csv || fail "2-shard merge differs from --csv"
+sort full.csv > full.sorted && sort merged2.csv > merged2.sorted
+cmp full.sorted merged2.sorted || fail "2-shard merge differs after sort"
+grep -q "complete" coverage2.txt || fail "coverage table missing"
+
+echo "== merge accepts shards in any input order =="
+$MERGE --manifest=m2.json s1.csv s0.csv 2>/dev/null | cmp - full.csv \
+  || fail "input order changed the merged output"
+
+echo "== 1-shard manifest == plain --csv =="
+$HMMSIM $GRID --emit-manifest=m1.json --shards=1 > /dev/null
+$HMMSIM $GRID --shard=0/1 > s_only.csv
+$MERGE --manifest=m1.json s_only.csv 2>/dev/null > merged1.csv
+sort merged1.csv | cmp - full.sorted || fail "1-shard merge != --csv"
+
+echo "== --strict exits 5 on a withheld shard =="
+expect_exit 5 "$MERGE" --manifest=m2.json --strict s0.csv
+# Without --strict the partial merge succeeds with the rows present.
+$MERGE --manifest=m2.json s0.csv 2>/dev/null > partial.csv
+[ "$(wc -l < partial.csv)" -eq 4 ] || fail "partial merge row count"
+
+echo "== duplicate rows exit 4 =="
+expect_exit 4 "$MERGE" --manifest=m2.json s0.csv s0.csv s1.csv
+
+echo "== foreign fingerprint exits 3 =="
+$HMMSIM $GRID --seed 99 --shard=0/2 > s0_foreign.csv
+expect_exit 3 "$MERGE" --manifest=m2.json s0_foreign.csv s1.csv
+# A doctored header is also a mismatch.
+{ echo "algorithm,model,bogus"; tail -n +2 s0.csv; } > s0_badhdr.csv
+expect_exit 3 "$MERGE" --manifest=m2.json s0_badhdr.csv s1.csv
+
+echo "== determinism across repeated runs =="
+$HMMSIM $GRID --emit-manifest=m2b.json --shards=2 > /dev/null
+cmp m2.json m2b.json || fail "manifest emission is nondeterministic"
+$HMMSIM $GRID --shard=0/2 | cmp - s0.csv || fail "shard run nondeterministic"
+$HMMSIM $GRID --shard=0/2 --jobs 2 | cmp - s0.csv \
+  || fail "shard rows depend on --jobs"
+
+echo "shard_roundtrip: OK"
