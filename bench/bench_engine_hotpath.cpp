@@ -4,7 +4,7 @@
 //
 //   bench_engine_hotpath [--smoke] [--jobs J] [--out PATH]
 //
-// Five measurements:
+// Six measurements:
 //   1. single-run hot path — repeated HMM sum runs; reports
 //      warp-rounds/sec (engine scheduling throughput) and
 //      memory-batches/sec (pricing + pipeline throughput);
@@ -17,10 +17,13 @@
 //      the sink-OFF side doubles as the regression guard for the
 //      detached-observer hot path (exits nonzero when it drifts from the
 //      plain single-run baseline);
-//   4. sweep scaling — the same grid of independent UMM sum points
+//   4. fast-forward — a many-DMM Theorem-9 convolution with the verified
+//      replay engine on vs off (both sides must produce the identical
+//      RunReport); reports seconds/run for each and the speedup;
+//   5. sweep scaling — the same grid of independent UMM sum points
 //      evaluated serially (jobs=1) and across a thread pool (jobs=J,
 //      default 8); reports wall seconds and the speedup;
-//   5. determinism — asserts the serial and parallel sweeps produced
+//   6. determinism — asserts the serial and parallel sweeps produced
 //      identical reports (exits nonzero otherwise).
 //
 // --smoke shrinks everything to a grid that finishes in well under a
@@ -33,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "alg/convolution.hpp"
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
 #include "analysis/checker.hpp"
@@ -287,6 +291,77 @@ ArenaResult measure_arena(std::int64_t p, std::int64_t barriers,
   return r;
 }
 
+struct FastForwardResult {
+  std::int64_t d = 0, pd = 0, w = 0, m = 0, n = 0;
+  double seconds_per_run_off = 0.0;      // --fast-forward=off
+  double seconds_per_run_on = 0.0;       // --fast-forward=on
+  double best_seconds_per_run_off = 0.0;
+  double best_seconds_per_run_on = 0.0;
+  std::int64_t replayed_rounds = 0;      // per on-run, deterministic
+  double speedup = 0.0;                  // best_off / best_on
+};
+
+/// Theorem-9 HMM convolution with the verified fast-forward replay on vs
+/// off, interleaved run-for-run.  The workload is chosen to be the
+/// engine's best case on purpose — it demonstrates the headroom the
+/// replay path buys (docs/PERF.md, "Analytic fast-forward"): many DMMs
+/// with ONE warp each (every warp is an exclusive-regime candidate), a
+/// shared-memory inner loop with period 3 (broadcast tap, contiguous
+/// signal read, compute), and enough warps that the off path thrashes
+/// the coroutine frames out of cache between rounds while fused replay
+/// keeps each warp's frames hot across whole blocks.  Both sides must
+/// agree on the makespan — the run-time half of the byte-identical
+/// RunReport equivalence that tests/determinism_test.cpp locks in full.
+FastForwardResult measure_fast_forward(std::int64_t d, std::int64_t pd,
+                                       std::int64_t w, std::int64_t m,
+                                       std::int64_t n, Cycle l,
+                                       std::int64_t reps) {
+  FastForwardResult r;
+  r.d = d;
+  r.pd = pd;
+  r.w = w;
+  r.m = m;
+  r.n = n;
+  const auto taps = alg::random_words(m, 2);
+  const auto signal = alg::random_words(n + m - 1, 3);
+
+  const auto run = [&](bool ff) {
+    return alg::convolution_hmm(taps, signal, d, pd, w, l, nullptr, ff);
+  };
+  const auto warm_on = run(true);  // warm-up, also the counter source
+  const auto warm_off = run(false);
+  r.replayed_rounds = warm_on.report.fast_forward.replayed_rounds;
+  if (!(warm_on.report == warm_off.report)) {
+    std::fprintf(stderr,
+                 "FATAL: fast-forward on and off disagree on the RunReport "
+                 "(makespan %lld vs %lld)\n",
+                 static_cast<long long>(warm_on.report.makespan),
+                 static_cast<long long>(warm_off.report.makespan));
+    std::exit(1);
+  }
+
+  double off_total = 0.0, on_total = 0.0, best_off = 0.0, best_on = 0.0;
+  for (std::int64_t i = 0; i < reps; ++i) {
+    const auto t_on = Clock::now();
+    run(true);
+    const double dt_on = seconds_since(t_on);
+    on_total += dt_on;
+    if (i == 0 || dt_on < best_on) best_on = dt_on;
+
+    const auto t_off = Clock::now();
+    run(false);
+    const double dt_off = seconds_since(t_off);
+    off_total += dt_off;
+    if (i == 0 || dt_off < best_off) best_off = dt_off;
+  }
+  r.seconds_per_run_off = off_total / static_cast<double>(reps);
+  r.seconds_per_run_on = on_total / static_cast<double>(reps);
+  r.best_seconds_per_run_off = best_off;
+  r.best_seconds_per_run_on = best_on;
+  r.speedup = r.best_seconds_per_run_off / r.best_seconds_per_run_on;
+  return r;
+}
+
 struct SweepResult {
   std::int64_t grid_points = 0;
   double serial_seconds = 0.0;
@@ -403,6 +478,23 @@ int run_bench(int argc, char** argv) {
       arena.speedup, static_cast<long long>(arena.threads),
       static_cast<long long>(arena.barriers));
 
+  // Full config: 512 single-warp DMMs keep every warp in the exclusive
+  // fused-replay regime while the off path round-robins 512 coroutine
+  // frame sets through the cache; n % d == 0 and m <= n/d (Corollary 10)
+  // hold for both configs.
+  const std::int64_t ff_d = smoke ? 64 : 512;
+  const std::int64_t ff_m = smoke ? 64 : 128;
+  const std::int64_t ff_n = smoke ? (1 << 12) : (1 << 16);
+  const FastForwardResult ff =
+      measure_fast_forward(ff_d, 16, 16, ff_m, ff_n, 400, 3);
+  std::printf(
+      "fastforward: off %.3f ms/run, on %.3f ms/run, speedup %.2fx "
+      "(best-of-reps, d=%lld, m=%lld, n=%lld, %lld replayed rounds)\n",
+      1e3 * ff.seconds_per_run_off, 1e3 * ff.seconds_per_run_on, ff.speedup,
+      static_cast<long long>(ff.d), static_cast<long long>(ff.m),
+      static_cast<long long>(ff.n),
+      static_cast<long long>(ff.replayed_rounds));
+
   const std::int64_t grid = smoke ? 8 : 48;
   const std::int64_t n_sweep = smoke ? (1 << 12) : (1 << 15);
   const SweepResult sweep = measure_sweep(grid, n_sweep, jobs);
@@ -463,6 +555,17 @@ int run_bench(int argc, char** argv) {
       "    \"best_seconds_per_run_on\": %.6g,\n"
       "    \"speedup\": %.6g\n"
       "  },\n"
+      "  \"fast_forward\": {\n"
+      "    \"workload\": \"hmm_convolution\",\n"
+      "    \"d\": %lld, \"pd\": %lld, \"w\": %lld, \"m\": %lld, "
+      "\"n\": %lld, \"l\": 400,\n"
+      "    \"seconds_per_run_off\": %.6g,\n"
+      "    \"seconds_per_run_on\": %.6g,\n"
+      "    \"best_seconds_per_run_off\": %.6g,\n"
+      "    \"best_seconds_per_run_on\": %.6g,\n"
+      "    \"replayed_rounds\": %lld,\n"
+      "    \"speedup\": %.6g\n"
+      "  },\n"
       "  \"sweep\": {\n"
       "    \"workload\": \"umm_sum_grid\",\n"
       "    \"grid_points\": %lld,\n"
@@ -493,6 +596,12 @@ int run_bench(int argc, char** argv) {
       arena.seconds_per_run_off, arena.seconds_per_run_on,
       arena.best_seconds_per_run_off, arena.best_seconds_per_run_on,
       arena.speedup,
+      static_cast<long long>(ff.d), static_cast<long long>(ff.pd),
+      static_cast<long long>(ff.w), static_cast<long long>(ff.m),
+      static_cast<long long>(ff.n),
+      ff.seconds_per_run_off, ff.seconds_per_run_on,
+      ff.best_seconds_per_run_off, ff.best_seconds_per_run_on,
+      static_cast<long long>(ff.replayed_rounds), ff.speedup,
       static_cast<long long>(sweep.grid_points), sweep.serial_seconds,
       static_cast<long long>(sweep.parallel_jobs), sweep.parallel_seconds,
       sweep.speedup, sweep.deterministic ? "true" : "false");
@@ -540,6 +649,20 @@ int run_bench(int argc, char** argv) {
                  "path (limit %.2fx) — the frame arena stopped paying for "
                  "itself\n",
                  arena.speedup, arena_limit);
+    return 1;
+  }
+  // Fast-forward guard: verified replay must keep delivering a large
+  // multiple on its headline workload (the recorded full-run value sits
+  // above 5x; the limit leaves room for a loaded box).  The tiny smoke
+  // convolution spends most of its time outside the steady-state replay
+  // loop, so its bound only catches the replay path turning into a
+  // slowdown.
+  const double ff_limit = smoke ? 0.80 : 3.50;
+  if (ff.speedup < ff_limit) {
+    std::fprintf(stderr,
+                 "FATAL: fast-forward convolution speedup is %.2fx "
+                 "(limit %.2fx) — the replay path regressed\n",
+                 ff.speedup, ff_limit);
     return 1;
   }
   return 0;

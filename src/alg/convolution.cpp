@@ -108,7 +108,8 @@ MachineConv convolution_standalone(std::span<const Word> a,
                                    std::span<const Word> x,
                                    std::int64_t threads, std::int64_t width,
                                    Cycle latency, MemorySpace space,
-                                   EngineObserver* observer) {
+                                   EngineObserver* observer,
+                                   bool fast_forward) {
   const auto m = static_cast<std::int64_t>(a.size());
   const auto n = static_cast<std::int64_t>(x.size()) - m + 1;
   check_shapes(m, n, static_cast<std::int64_t>(x.size()));
@@ -122,6 +123,7 @@ MachineConv convolution_standalone(std::span<const Word> a,
                         ? Machine::dmm(width, latency, threads, size)
                         : Machine::umm(width, latency, threads, size);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   BankMemory& mem = space == MemorySpace::kShared
                         ? machine.shared_memory(0)
                         : machine.global_memory();
@@ -136,14 +138,16 @@ MachineConv convolution_dmm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t threads, std::int64_t width,
                             Cycle latency) {
   return convolution_standalone(a, x, threads, width, latency,
-                                MemorySpace::kShared, nullptr);
+                                MemorySpace::kShared, nullptr,
+                                /*fast_forward=*/true);
 }
 
 MachineConv convolution_umm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t threads, std::int64_t width,
-                            Cycle latency, EngineObserver* observer) {
+                            Cycle latency, EngineObserver* observer,
+                            bool fast_forward) {
   return convolution_standalone(a, x, threads, width, latency,
-                                MemorySpace::kGlobal, observer);
+                                MemorySpace::kGlobal, observer, fast_forward);
 }
 
 MachineConv convolution_hmm(Machine& machine, std::int64_t m,
@@ -268,7 +272,8 @@ MachineConv convolution_hmm_chunked(std::span<const Word> a,
 MachineConv convolution_hmm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t num_dmms,
                             std::int64_t threads_per_dmm, std::int64_t width,
-                            Cycle latency, EngineObserver* observer) {
+                            Cycle latency, EngineObserver* observer,
+                            bool fast_forward) {
   const auto m = static_cast<std::int64_t>(a.size());
   const auto n = static_cast<std::int64_t>(x.size()) - m + 1;
   check_shapes(m, n, static_cast<std::int64_t>(x.size()));
@@ -283,6 +288,7 @@ MachineConv convolution_hmm(std::span<const Word> a, std::span<const Word> x,
   Machine machine = Machine::hmm(width, latency, num_dmms, threads_per_dmm,
                                  shared_size, global_size);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   machine.global_memory().load(0, a);
   machine.global_memory().load(m, x);
   return convolution_hmm(machine, m, n);

@@ -60,7 +60,8 @@ MachineConv convolution_dmm(std::span<const Word> a, std::span<const Word> x,
 MachineConv convolution_umm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t threads, std::int64_t width,
                             Cycle latency,
-                            EngineObserver* observer = nullptr);
+                            EngineObserver* observer = nullptr,
+                            bool fast_forward = true);
 
 /// Theorem 9 / Corollary 10: the three-step HMM convolution — stage a and
 /// the DMM's signal slice into shared memory, convolve there at latency
@@ -72,7 +73,8 @@ MachineConv convolution_hmm(std::span<const Word> a, std::span<const Word> x,
                             std::int64_t num_dmms,
                             std::int64_t threads_per_dmm, std::int64_t width,
                             Cycle latency,
-                            EngineObserver* observer = nullptr);
+                            EngineObserver* observer = nullptr,
+                            bool fast_forward = true);
 
 /// Capacity-aware Theorem 9: real shared memories are tiny (§III: 48KB
 /// against a 2GB global memory), so a DMM whose n/d slice does not fit

@@ -42,11 +42,12 @@ BaselineMatmul matmul_sequential(std::span<const Word> a,
 MachineMatmul matmul_umm(std::span<const Word> a, std::span<const Word> b,
                          std::int64_t rows, std::int64_t threads,
                          std::int64_t width, Cycle latency,
-                         EngineObserver* observer) {
+                         EngineObserver* observer, bool fast_forward) {
   check_matrices(a, b, rows);
   const std::int64_t cells = rows * rows;
   Machine machine = Machine::umm(width, latency, threads, 3 * cells);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   const Address ax = 0, bx = cells, cx = 2 * cells;
   machine.global_memory().load(ax, a);
   machine.global_memory().load(bx, b);
@@ -76,7 +77,8 @@ MachineMatmul matmul_hmm_tiled(std::span<const Word> a,
                                std::int64_t num_dmms,
                                std::int64_t threads_per_dmm,
                                std::int64_t width, Cycle latency,
-                               std::int64_t tile, EngineObserver* observer) {
+                               std::int64_t tile, EngineObserver* observer,
+                               bool fast_forward) {
   check_matrices(a, b, rows);
   HMM_REQUIRE(tile >= 1 && rows % tile == 0,
               "matmul: tile must divide rows");
@@ -89,6 +91,7 @@ MachineMatmul matmul_hmm_tiled(std::span<const Word> a,
   Machine machine = Machine::hmm(width, latency, num_dmms, threads_per_dmm,
                                  3 * t2, 3 * cells);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   const Address ax = 0, bx = cells, cx = 2 * cells;
   machine.global_memory().load(ax, a);
   machine.global_memory().load(bx, b);

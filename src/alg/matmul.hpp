@@ -42,7 +42,8 @@ BaselineMatmul matmul_sequential(std::span<const Word> a,
 MachineMatmul matmul_umm(std::span<const Word> a, std::span<const Word> b,
                          std::int64_t rows, std::int64_t threads,
                          std::int64_t width, Cycle latency,
-                         EngineObserver* observer = nullptr);
+                         EngineObserver* observer = nullptr,
+                         bool fast_forward = true);
 
 /// Tiled kernel on the HMM: C is cut into tile x tile blocks dealt
 /// round-robin to the DMMs; each DMM sweeps the k-tiles, staging an
@@ -56,6 +57,7 @@ MachineMatmul matmul_hmm_tiled(std::span<const Word> a,
                                std::int64_t threads_per_dmm,
                                std::int64_t width, Cycle latency,
                                std::int64_t tile,
-                               EngineObserver* observer = nullptr);
+                               EngineObserver* observer = nullptr,
+                               bool fast_forward = true);
 
 }  // namespace hmm::alg

@@ -173,7 +173,8 @@ namespace {
 MachineScan prefix_sums_standalone(std::span<const Word> input,
                                    std::int64_t threads, std::int64_t width,
                                    Cycle latency, MemorySpace space,
-                                   EngineObserver* observer) {
+                                   EngineObserver* observer,
+                                   bool fast_forward) {
   const auto n = static_cast<std::int64_t>(input.size());
   HMM_REQUIRE(n >= 1, "prefix sums: n must be >= 1");
   const std::int64_t size = n + prefix_sums_scratch_size(n);
@@ -181,6 +182,7 @@ MachineScan prefix_sums_standalone(std::span<const Word> input,
                         ? Machine::dmm(width, latency, threads, size)
                         : Machine::umm(width, latency, threads, size);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   BankMemory& mem = space == MemorySpace::kShared
                         ? machine.shared_memory(0)
                         : machine.global_memory();
@@ -197,19 +199,21 @@ MachineScan prefix_sums_standalone(std::span<const Word> input,
 MachineScan prefix_sums_dmm(std::span<const Word> input, std::int64_t threads,
                             std::int64_t width, Cycle latency) {
   return prefix_sums_standalone(input, threads, width, latency,
-                                MemorySpace::kShared, nullptr);
+                                MemorySpace::kShared, nullptr,
+                                /*fast_forward=*/true);
 }
 
 MachineScan prefix_sums_umm(std::span<const Word> input, std::int64_t threads,
                             std::int64_t width, Cycle latency,
-                            EngineObserver* observer) {
+                            EngineObserver* observer, bool fast_forward) {
   return prefix_sums_standalone(input, threads, width, latency,
-                                MemorySpace::kGlobal, observer);
+                                MemorySpace::kGlobal, observer, fast_forward);
 }
 
 MachineScan prefix_sums_hmm(std::span<const Word> input, std::int64_t num_dmms,
                             std::int64_t threads_per_dmm, std::int64_t width,
-                            Cycle latency, EngineObserver* observer) {
+                            Cycle latency, EngineObserver* observer,
+                            bool fast_forward) {
   const auto n = static_cast<std::int64_t>(input.size());
   HMM_REQUIRE(n >= 1, "prefix sums: n must be >= 1");
   HMM_REQUIRE(num_dmms >= 1 && n % num_dmms == 0,
@@ -230,6 +234,7 @@ MachineScan prefix_sums_hmm(std::span<const Word> input, std::int64_t num_dmms,
   Machine machine = Machine::hmm(width, latency, d, threads_per_dmm,
                                  shared_size, global_size);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   machine.global_memory().load(0, input);
 
   RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {

@@ -56,13 +56,15 @@ MachineScan prefix_sums_dmm(std::span<const Word> input, std::int64_t threads,
                             std::int64_t width, Cycle latency);
 MachineScan prefix_sums_umm(std::span<const Word> input, std::int64_t threads,
                             std::int64_t width, Cycle latency,
-                            EngineObserver* observer = nullptr);
+                            EngineObserver* observer = nullptr,
+                            bool fast_forward = true);
 
 /// HMM version: stage slices into the latency-1 shared memories, scan
 /// locally, scan the d block sums on DMM(0), add carries, copy back —
 /// O(n/w + nl/p + l + log n).  Requires n % d == 0.
 MachineScan prefix_sums_hmm(std::span<const Word> input, std::int64_t num_dmms,
                             std::int64_t threads_per_dmm, std::int64_t width,
-                            Cycle latency, EngineObserver* observer = nullptr);
+                            Cycle latency, EngineObserver* observer = nullptr,
+                            bool fast_forward = true);
 
 }  // namespace hmm::alg

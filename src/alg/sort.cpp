@@ -38,12 +38,14 @@ SubTask device_bitonic_stage(ThreadCtx& t, MemorySpace space, Address base,
 
 MachineSort sort_standalone(std::span<const Word> input, std::int64_t threads,
                             std::int64_t width, Cycle latency,
-                            MemorySpace space, EngineObserver* observer) {
+                            MemorySpace space, EngineObserver* observer,
+                            bool fast_forward) {
   const auto n = static_cast<std::int64_t>(input.size());
   Machine machine = space == MemorySpace::kShared
                         ? Machine::dmm(width, latency, threads, n)
                         : Machine::umm(width, latency, threads, n);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   BankMemory& mem = space == MemorySpace::kShared
                         ? machine.shared_memory(0)
                         : machine.global_memory();
@@ -76,19 +78,21 @@ MachineSort sort_mm(Machine& machine, MemorySpace space, std::int64_t n) {
 MachineSort sort_dmm(std::span<const Word> input, std::int64_t threads,
                      std::int64_t width, Cycle latency) {
   return sort_standalone(input, threads, width, latency,
-                         MemorySpace::kShared, nullptr);
+                         MemorySpace::kShared, nullptr,
+                         /*fast_forward=*/true);
 }
 
 MachineSort sort_umm(std::span<const Word> input, std::int64_t threads,
                      std::int64_t width, Cycle latency,
-                     EngineObserver* observer) {
+                     EngineObserver* observer, bool fast_forward) {
   return sort_standalone(input, threads, width, latency,
-                         MemorySpace::kGlobal, observer);
+                         MemorySpace::kGlobal, observer, fast_forward);
 }
 
 MachineSort sort_hmm(std::span<const Word> input, std::int64_t num_dmms,
                      std::int64_t threads_per_dmm, std::int64_t width,
-                     Cycle latency, EngineObserver* observer) {
+                     Cycle latency, EngineObserver* observer,
+                     bool fast_forward) {
   const auto n = static_cast<std::int64_t>(input.size());
   const std::int64_t d = num_dmms;
   HMM_REQUIRE(d >= 1 && is_pow2(d) && n >= d && n % d == 0,
@@ -96,6 +100,7 @@ MachineSort sort_hmm(std::span<const Word> input, std::int64_t num_dmms,
   Machine machine =
       Machine::hmm(width, latency, d, threads_per_dmm, n / d, n);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   machine.global_memory().load(0, input);
   return sort_hmm(machine, n);
 }

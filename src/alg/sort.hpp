@@ -37,7 +37,8 @@ MachineSort sort_dmm(std::span<const Word> input, std::int64_t threads,
                      std::int64_t width, Cycle latency);
 MachineSort sort_umm(std::span<const Word> input, std::int64_t threads,
                      std::int64_t width, Cycle latency,
-                     EngineObserver* observer = nullptr);
+                     EngineObserver* observer = nullptr,
+                     bool fast_forward = true);
 
 /// Same, on an existing machine (e.g. one carrying an AccessChecker):
 /// sorts the n words the caller loaded at [0, n) of `space` in place.
@@ -48,7 +49,8 @@ MachineSort sort_mm(Machine& machine, MemorySpace space, std::int64_t n);
 /// stages run on global memory.
 MachineSort sort_hmm(std::span<const Word> input, std::int64_t num_dmms,
                      std::int64_t threads_per_dmm, std::int64_t width,
-                     Cycle latency, EngineObserver* observer = nullptr);
+                     Cycle latency, EngineObserver* observer = nullptr,
+                     bool fast_forward = true);
 
 /// Same, on an existing HMM with the input loaded at global [0, n);
 /// shared memories must hold n/d cells.

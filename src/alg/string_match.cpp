@@ -101,7 +101,8 @@ BaselineMatch string_match_sequential(std::span<const Word> pattern,
 MachineMatch string_match_umm(std::span<const Word> pattern,
                               std::span<const Word> text,
                               std::int64_t threads, std::int64_t width,
-                              Cycle latency, EngineObserver* observer) {
+                              Cycle latency, EngineObserver* observer,
+                              bool fast_forward) {
   check_inputs(pattern, text);
   const auto m = static_cast<std::int64_t>(pattern.size());
   const auto n = static_cast<std::int64_t>(text.size());
@@ -111,6 +112,7 @@ MachineMatch string_match_umm(std::span<const Word> pattern,
 
   Machine machine = Machine::umm(width, latency, threads, size);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   machine.global_memory().load(pat, pattern);
   machine.global_memory().load(txt, text);
   RunReport report = machine.run([&](ThreadCtx& t) -> SimTask {
@@ -127,7 +129,7 @@ MachineMatch string_match_hmm(std::span<const Word> pattern,
                               std::int64_t num_dmms,
                               std::int64_t threads_per_dmm,
                               std::int64_t width, Cycle latency,
-                              EngineObserver* observer) {
+                              EngineObserver* observer, bool fast_forward) {
   check_inputs(pattern, text);
   const auto m = static_cast<std::int64_t>(pattern.size());
   const auto n = static_cast<std::int64_t>(text.size());
@@ -148,6 +150,7 @@ MachineMatch string_match_hmm(std::span<const Word> pattern,
   Machine machine = Machine::hmm(width, latency, d, threads_per_dmm,
                                  shared_size, global_size);
   machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   machine.global_memory().load(g_pat, pattern);
   machine.global_memory().load(g_txt, text);
 

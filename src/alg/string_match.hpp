@@ -47,7 +47,8 @@ MachineMatch string_match_umm(std::span<const Word> pattern,
                               std::span<const Word> text,
                               std::int64_t threads, std::int64_t width,
                               Cycle latency,
-                              EngineObserver* observer = nullptr);
+                              EngineObserver* observer = nullptr,
+                              bool fast_forward = true);
 
 /// Sliced wavefront on the HMM: each DMM owns n/d text positions plus a
 /// 2m halo, computes its band in shared memory, and writes its slice of
@@ -57,6 +58,7 @@ MachineMatch string_match_hmm(std::span<const Word> pattern,
                               std::int64_t num_dmms,
                               std::int64_t threads_per_dmm,
                               std::int64_t width, Cycle latency,
-                              EngineObserver* observer = nullptr);
+                              EngineObserver* observer = nullptr,
+                              bool fast_forward = true);
 
 }  // namespace hmm::alg

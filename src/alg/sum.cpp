@@ -73,10 +73,11 @@ MachineSum sum_dmm(std::span<const Word> input, std::int64_t threads,
 
 MachineSum sum_umm(std::span<const Word> input, std::int64_t threads,
                    std::int64_t width, Cycle latency,
-                   EngineObserver* observer) {
+                   EngineObserver* observer, bool fast_forward) {
   const auto n = static_cast<std::int64_t>(input.size());
   Machine m = Machine::umm(width, latency, threads, n);
   m.set_observer(observer);
+  m.set_fast_forward(fast_forward);
   m.global_memory().load(0, input);
   return sum_mm(m, MemorySpace::kGlobal, 0, n);
 }
@@ -179,12 +180,13 @@ MachineSum sum_hmm(Machine& machine, std::int64_t n) {
 
 MachineSum sum_hmm(std::span<const Word> input, std::int64_t num_dmms,
                    std::int64_t threads_per_dmm, std::int64_t width,
-                   Cycle latency, EngineObserver* observer) {
+                   Cycle latency, EngineObserver* observer, bool fast_forward) {
   const auto n = static_cast<std::int64_t>(input.size());
   const std::int64_t shared_size = std::max(threads_per_dmm, num_dmms);
   Machine m = Machine::hmm(width, latency, num_dmms, threads_per_dmm,
                            shared_size, n + num_dmms);
   m.set_observer(observer);
+  m.set_fast_forward(fast_forward);
   m.global_memory().load(0, input);
   return sum_hmm(m, n);
 }

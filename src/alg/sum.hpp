@@ -54,7 +54,8 @@ MachineSum sum_dmm(std::span<const Word> input, std::int64_t threads,
                    std::int64_t width, Cycle latency);
 MachineSum sum_umm(std::span<const Word> input, std::int64_t threads,
                    std::int64_t width, Cycle latency,
-                   EngineObserver* observer = nullptr);
+                   EngineObserver* observer = nullptr,
+                   bool fast_forward = true);
 
 // ---- Lemma 6: straightforward HMM sum (one DMM, global memory only) ------
 
@@ -79,6 +80,7 @@ MachineSum sum_hmm_straightforward(std::span<const Word> input,
 MachineSum sum_hmm(Machine& machine, std::int64_t n);
 MachineSum sum_hmm(std::span<const Word> input, std::int64_t num_dmms,
                    std::int64_t threads_per_dmm, std::int64_t width,
-                   Cycle latency, EngineObserver* observer = nullptr);
+                   Cycle latency, EngineObserver* observer = nullptr,
+                   bool fast_forward = true);
 
 }  // namespace hmm::alg

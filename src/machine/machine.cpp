@@ -153,6 +153,8 @@ class Engine {
     Cycle uniform_cycles = 0;  // SIMD max over the batch, when kCompute
     bool waiting = false;   // parked at an unreleased barrier
     bool finished = false;
+    // Static: the only warp of its DMM (fused replay's exclusive regime).
+    bool exclusive = false;
   };
 
   /// One warp instruction issues per time unit per DMM (SIMD dispatch).
@@ -176,9 +178,102 @@ class Engine {
     DmmId dmm = -1;                           // -1 for the machine domain
   };
 
+  // ---- fast-forward: round-pattern recording and verified replay ------
+  //
+  // Once a warp's round fingerprints repeat with period P (for >= 2 full
+  // periods), the engine records the next P rounds as PatternSlots and
+  // then REPLAYS them: each replayed round still resumes every lane's
+  // coroutine (the kernel consumes the values memory delivers, so
+  // resumes are irreducible), but verifies the freshly posted ops
+  // against the slot in one fused pass and then applies the recorded
+  // pricing directly — no batch build, no profile_batch, no
+  // service() — with byte-identical timing, traffic and trace effects.
+  // Any deviation (different op, inadmissible address shift, lane
+  // death, barrier) bails out to the ordinary scan path for that round
+  // and the warp starts scanning again; kMaxBailouts flaps WITHOUT an
+  // intervening full replayed period disable the tracker for the warp
+  // (a completed period refunds the budget — a pattern that breaks
+  // periodically, like convolution's once-per-output write, keeps
+  // earning its keep).  See docs/PERF.md "Analytic fast-forward".
+  //
+  // Replayed rounds are additionally FUSED into blocks — many rounds of
+  // one warp serviced in a single queue pop, keeping its lane frames hot
+  // in cache — whenever that provably cannot be observed:
+  //
+  //  * exclusive regime: the warp is the only warp of its DMM and its
+  //    period touches nothing outside the DMM (shared-space memory
+  //    slots, compute, warp syncs).  Its exec unit, shared pipeline and
+  //    shared memory are then private — no other warp can read or write
+  //    any state the block touches, so running the block ahead of the
+  //    global clock order commutes with every other warp's rounds.
+  //    Requires no trace consumer (trace events are globally ordered).
+  //  * horizon regime: each successive round's (clock, warp id) still
+  //    precedes the ready queue's minimum, i.e. the round would have
+  //    been the very next pop anyway.  Exact for any slot content, trace
+  //    included — this is just the event loop with the re-heap skipped.
+  static constexpr std::int64_t kMaxPeriod = 8;
+  static constexpr std::int64_t kHistory = 2 * kMaxPeriod;
+  static constexpr std::int64_t kMaxBailouts = 8;
+
+  /// One recorded round of a periodic pattern.
+  struct PatternSlot {
+    enum class Kind : std::uint8_t { kMemory, kCompute, kWarpSync };
+    Kind kind = Kind::kWarpSync;
+    MemorySpace space = MemorySpace::kShared;  // kMemory only
+    bool all_read = false;   ///< batch had no writes
+    bool broadcast = false;  ///< one distinct address (any shift is exact)
+    /// DMM-priced port: a uniform shift c rotates banks as a multiset
+    /// (bank_of(a+c) = (bank_of(a)+c) mod w), so max-per-bank distinct
+    /// counts — the stages — survive ANY shift.  UMM-priced slots only
+    /// admit shifts ≡ 0 (mod w), which preserve the group structure.
+    bool any_shift = false;
+    Cycle cycles = 0;          ///< kCompute: SIMD max over the warp
+    std::int64_t stages = 0;   ///< kMemory: priced pipeline stages
+    std::int64_t nreq = 0;     ///< kMemory: requests (== live lanes)
+    Address base = 0;          ///< kMemory: first lane's address, updated
+                               ///< by every accepted shift
+    std::int64_t min_delta = 0;  ///< bounds check is 2 compares per round
+    std::int64_t max_delta = 0;
+    std::vector<std::int64_t> deltas;  ///< per live lane; deltas[0] == 0
+    std::vector<Op::Kind> kinds;       ///< per live lane (lane-0 verify uses
+                                       ///< kinds[0] for every slot shape)
+    std::vector<std::int32_t> banks;   ///< banks of the DISTINCT addresses,
+                                       ///< rotated in place on shifts
+  };
+
+  struct WarpTracker {
+    enum class Mode : std::uint8_t { kScan, kRecord, kReplay, kOff };
+    Mode mode = Mode::kScan;
+    std::uint64_t hist[kHistory] = {};  // fingerprint ring
+    std::int64_t hist_len = 0;
+    std::int64_t hist_pos = 0;          // next write slot
+    std::int64_t run[kMaxPeriod + 1] = {};  // run[p]: rounds with fp==fp[-p]
+    std::int64_t period = 0;
+    std::int64_t recorded = 0;  // slots captured so far (kRecord)
+    std::int64_t pos = 0;       // replay cursor (kReplay)
+    std::int64_t bailouts = 0;
+    // Every memory slot is shared-space (DMM-local): with an exclusive
+    // warp this makes the whole period fusable out of clock order.
+    bool local_only = false;
+    std::vector<PatternSlot> slots;
+
+    /// Back to scanning with a cold window (pattern broke or never was).
+    void reset() {
+      if (mode == Mode::kOff) return;
+      mode = Mode::kScan;
+      hist_len = 0;
+      hist_pos = 0;
+      std::fill(std::begin(run), std::end(run), 0);
+      period = 0;
+      recorded = 0;
+      pos = 0;
+    }
+  };
+
   void launch_threads();
   void emit_trace(const TraceEvent& event);
   void round(WarpState& w);
+  void dispatch_scan(WarpState& w);
   void resume_flagged(WarpState& w);
   void memory_round(WarpState& w, MemorySpace space);
   void compute_round(WarpState& w);
@@ -186,6 +281,19 @@ class Engine {
   void finish_warp(WarpState& w);
   void release_if_complete(BarrierDomain& domain);
   void release(BarrierDomain& domain);
+
+  // Fast-forward machinery (definitions near try_replay_round below).
+  bool observe_fp(WarpTracker& t, std::uint64_t fp);
+  void bail_tracker(WarpTracker& t);
+  void advance_record(WarpTracker& t);
+  void record_memory_slot(WarpTracker& t, const WarpState& w,
+                          MemorySpace space, const WarpBatch& batch,
+                          const BatchProfile& profile, std::int64_t stages,
+                          bool dmm_pricing);
+  void replay_rounds(WarpState& w, WarpTracker& t);
+  bool try_replay_round(WarpState& w, WarpTracker& t);
+  static bool drain_resumes(ThreadState* base_ts, const std::int32_t* lanes,
+                            std::int64_t k, std::int64_t nl);
 
   Machine::Port& port_for(DmmId dmm, MemorySpace space);
   ThreadState& thread(ThreadId t) {
@@ -244,6 +352,15 @@ class Engine {
   std::vector<std::int32_t> live_lanes_;
   std::vector<std::int32_t> flagged_lanes_;
   std::size_t width_ = 0;  // topology width, cached for slice math
+  // Round-pattern memoization state, sampled once per run: cache_ is
+  // null when fast-forward is off; replay additionally requires that no
+  // observer is attached (the global fallback of the observer contract —
+  // observers see every event of a fully simulated run).
+  PatternCache* cache_ = nullptr;
+  bool replay_enabled_ = false;
+  std::vector<std::uint64_t> key_scratch_;  // canonical key, reused
+  std::vector<Address> addr_scratch_;       // distinct addrs at record
+  std::vector<WarpTracker> trackers_;       // one per warp
   RunReport report_;
   // Trace routing, sampled once per run: trace_ is true when ANY consumer
   // wants TraceEvents (the legacy record_trace collector and/or an
@@ -252,6 +369,30 @@ class Engine {
   bool trace_ = false;
   bool observer_traces_ = false;
 };
+
+namespace {
+
+// Fingerprints feeding the periodicity detector.  Distinct tag words keep
+// the three replayable round classes from colliding structurally; memory
+// rounds fold in the translation-invariant shape hash (see
+// mm/pattern_cache.hpp) so a striding loop fingerprints as periodic.
+inline std::uint64_t fp_memory_round(MemorySpace space, std::uint64_t shape) {
+  const std::uint64_t words[2] = {0x100u + static_cast<std::uint64_t>(space),
+                                  shape};
+  return fnv1a64_words(words);
+}
+
+inline std::uint64_t fp_compute_round(Cycle cycles) {
+  const std::uint64_t words[2] = {0x200u, static_cast<std::uint64_t>(cycles)};
+  return fnv1a64_words(words);
+}
+
+const std::uint64_t kWarpSyncFp = [] {
+  const std::uint64_t words[1] = {0x300u};
+  return fnv1a64_words(words);
+}();
+
+}  // namespace
 
 Machine::Port& Engine::port_for(DmmId dmm, MemorySpace space) {
   if (space == MemorySpace::kShared) {
@@ -307,6 +448,7 @@ void Engine::launch_threads() {
       w.id = wbase + k;
       w.dmm = j;
       w.first = topo.first_thread(j) + k * topo.width();
+      w.exclusive = topo.warps_on(j) == 1;
       w.count = std::min(topo.width(), topo.threads_on(j) - k * topo.width());
       w.live = w.count;
       w.flagged = w.count;  // every lane needs its initial resume
@@ -330,6 +472,9 @@ void Engine::launch_threads() {
   queue_.reserve(static_cast<std::size_t>(topo.total_warps()));
   batch_scratch_.reserve(static_cast<std::size_t>(topo.width()));
   participants_scratch_.reserve(static_cast<std::size_t>(topo.width()));
+  if (replay_enabled_) {
+    trackers_.resize(static_cast<std::size_t>(topo.total_warps()));
+  }
   if (machine_.config_.record_trace) {
     // Every warp produces at least a few events; start with a generous
     // capacity so early rounds never reallocate mid-run.
@@ -354,6 +499,22 @@ RunReport Engine::run() {
   observer_traces_ =
       machine_.observer_ != nullptr && machine_.observer_->wants_trace_events();
   trace_ = machine_.config_.record_trace || observer_traces_;
+
+  // Round-pattern memoization (mm/pattern_cache.hpp).  The cache is pure
+  // memoization of exact profiles, so it stays on even under observation;
+  // the REPLAY shortcut falls back to full simulation whenever an
+  // observer is attached, so observers always see every batch event.
+  // record_trace alone does not disable replay: replayed rounds
+  // synthesize their TraceEvents exactly (same fields the slow path
+  // emits, from the same inject()/acquire() calls).
+  cache_ = nullptr;
+  if (machine_.config_.fast_forward) {
+    cache_ = machine_.external_cache_ != nullptr ? machine_.external_cache_
+                                                 : &machine_.cache_;
+  }
+  replay_enabled_ = cache_ != nullptr && machine_.observer_ == nullptr;
+  const std::int64_t cache_hits0 = cache_ != nullptr ? cache_->hits() : 0;
+  const std::int64_t cache_misses0 = cache_ != nullptr ? cache_->misses() : 0;
 
   // Activate the coroutine frame arena for the WHOLE run: SimTask frames
   // are created at launch, but SubTask frames are created whenever a
@@ -396,6 +557,11 @@ RunReport Engine::run() {
   report_.exec.reserve(exec_.size());
   for (const ExecUnit& e : exec_) {
     report_.exec.push_back(ExecStats{e.slots, e.next_free});
+  }
+  if (cache_ != nullptr) {
+    // This run's share of the (possibly long-lived, cross-run) cache.
+    report_.fast_forward.cache_hits = cache_->hits() - cache_hits0;
+    report_.fast_forward.cache_misses = cache_->misses() - cache_misses0;
   }
   if (machine_.observer_) machine_.observer_->on_run_end(report_);
   return std::move(report_);
@@ -497,6 +663,19 @@ void Engine::resume_flagged(WarpState& w) {
 }
 
 void Engine::round(WarpState& w) {
+  if (replay_enabled_) {
+    WarpTracker& t = trackers_[static_cast<std::size_t>(w.id)];
+    if (t.mode == WarpTracker::Mode::kReplay) {
+      if (w.flagged == w.live && w.live > 0) {
+        replay_rounds(w, t);
+        return;
+      }
+      // A partial resume set can't match a full-participation slot; this
+      // cannot happen while replay holds the warp, so treat it as a break.
+      t.reset();
+    }
+  }
+
   resume_flagged(w);
   if (w.live == 0) {
     finish_warp(w);
@@ -522,11 +701,25 @@ void Engine::round(WarpState& w) {
       // Every live lane reached the warp sync: reconverge for free.
       flag_all_live(w);
       requeue(w);
+      if (replay_enabled_) {
+        WarpTracker& t = trackers_[static_cast<std::size_t>(w.id)];
+        if (observe_fp(t, kWarpSyncFp)) {
+          t.slots[static_cast<std::size_t>(t.recorded)] = PatternSlot{};
+          advance_record(t);
+        }
+      }
       return;
     case UniformClass::kMixed:
       break;
   }
 
+  // A divergent (or unclassifiable) round: whatever periodicity the
+  // tracker was chasing is over.
+  if (replay_enabled_) trackers_[static_cast<std::size_t>(w.id)].reset();
+  dispatch_scan(w);
+}
+
+void Engine::dispatch_scan(WarpState& w) {
   // Classify the pending ops of live threads; service exactly one kind per
   // round, by fixed priority: shared memory, global memory, compute,
   // barrier.  (Uniform SIMD kernels only ever present one kind at a time;
@@ -612,8 +805,22 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
   HMM_ASSERT(!batch.empty(), "memory round without requests");
 
   Machine::Port& port = port_for(w.dmm, space);
-  const BatchProfile profile =
-      profile_batch(port.memory.geometry(), batch, port.cost_scratch);
+  // Price the batch: pattern-cache hit (exact, full-key compare) or the
+  // stamped pass as the miss path.  Observers receive the profile either
+  // way — cached profiles are byte-identical to freshly priced ones.
+  BatchProfile profile;
+  std::uint64_t shape_fp = 0;
+  if (cache_ != nullptr) {
+    const PatternKeyInfo key =
+        build_pattern_key(port.memory.geometry(), batch, key_scratch_);
+    shape_fp = key.shape_fp;
+    if (!cache_->find(key.cache_fp, key_scratch_, profile)) {
+      profile = profile_batch(port.memory.geometry(), batch, port.cost_scratch);
+      cache_->insert(key.cache_fp, key_scratch_, profile);
+    }
+  } else {
+    profile = profile_batch(port.memory.geometry(), batch, port.cost_scratch);
+  }
   const std::int64_t stages =
       port.dmm_pricing ? profile.dmm_stages : profile.umm_stages;
 
@@ -660,6 +867,17 @@ void Engine::memory_round(WarpState& w, MemorySpace space) {
         .ready = slot.data_ready,
     });
   }
+
+  // Periodicity tracking — only for PROVEN-uniform rounds (every live
+  // lane resumed together and posted this access), so a replayed slot
+  // can assume full participation.
+  if (replay_enabled_ && w.uniform == UniformClass::kMemory) {
+    WarpTracker& t = trackers_[static_cast<std::size_t>(w.id)];
+    if (observe_fp(t, fp_memory_round(space, shape_fp))) {
+      record_memory_slot(t, w, space, batch, profile, stages,
+                         port.dmm_pricing);
+    }
+  }
 }
 
 void Engine::compute_round(WarpState& w) {
@@ -702,9 +920,23 @@ void Engine::compute_round(WarpState& w) {
         .ready = w.clock,
     });
   }
+
+  if (replay_enabled_ && uniform) {
+    WarpTracker& t = trackers_[static_cast<std::size_t>(w.id)];
+    if (observe_fp(t, fp_compute_round(cycles))) {
+      PatternSlot& s = t.slots[static_cast<std::size_t>(t.recorded)];
+      s = PatternSlot{};
+      s.kind = PatternSlot::Kind::kCompute;
+      s.cycles = cycles;
+      advance_record(t);
+    }
+  }
 }
 
 void Engine::barrier_round(WarpState& w, BarrierScope scope) {
+  // A barrier ends any periodic phase: release times couple this warp to
+  // the rest of its domain, which replay must never shortcut.
+  if (replay_enabled_) trackers_[static_cast<std::size_t>(w.id)].reset();
   BarrierDomain& domain = scope == BarrierScope::kDmm
                               ? dmm_domains_[static_cast<std::size_t>(w.dmm)]
                               : machine_domain_;
@@ -777,6 +1009,461 @@ void Engine::release(BarrierDomain& domain) {
   }
   domain.arrived.clear();
   domain.max_arrival = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Fast-forward: periodicity detection, pattern recording, verified replay
+// ---------------------------------------------------------------------------
+
+/// Slide `fp` into the warp's rolling fingerprint window and refresh the
+/// per-period run lengths.  Returns true when THIS round must be captured
+/// into slots[recorded] (recording just started, or is in progress and
+/// the stream still matches the detected period).
+bool Engine::observe_fp(WarpTracker& t, std::uint64_t fp) {
+  if (t.mode == WarpTracker::Mode::kOff) return false;
+
+  bool continued = true;
+  if (t.mode == WarpTracker::Mode::kRecord) {
+    const std::uint64_t expect =
+        t.hist[(t.hist_pos - t.period + kHistory) % kHistory];
+    continued = fp == expect;
+  }
+
+  const std::int64_t bound = std::min(kMaxPeriod, t.hist_len);
+  for (std::int64_t p = 1; p <= bound; ++p) {
+    const std::uint64_t prev = t.hist[(t.hist_pos - p + kHistory) % kHistory];
+    t.run[p] = prev == fp ? t.run[p] + 1 : 0;
+  }
+  t.hist[t.hist_pos] = fp;
+  t.hist_pos = (t.hist_pos + 1) % kHistory;
+  if (t.hist_len < kHistory) ++t.hist_len;
+
+  if (t.mode == WarpTracker::Mode::kRecord) {
+    if (!continued) {
+      // The pattern broke mid-recording; keep the (fresh) window and
+      // scan again.
+      t.mode = WarpTracker::Mode::kScan;
+      t.recorded = 0;
+    }
+    return continued;
+  }
+
+  // Scanning: commit to the SMALLEST period that has held for at least
+  // two full cycles — the round we are observing becomes slot 0.
+  for (std::int64_t p = 1; p <= bound; ++p) {
+    if (t.run[p] >= 2 * p) {
+      t.mode = WarpTracker::Mode::kRecord;
+      t.period = p;
+      t.recorded = 0;
+      t.local_only = true;  // record_memory_slot clears it on global slots
+      t.slots.resize(static_cast<std::size_t>(p));
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A replay (or recording) attempt failed: rescan, and give up on the
+/// warp entirely after kMaxBailouts flaps — a warp that keeps almost
+/// repeating costs more to chase than to simulate.
+void Engine::bail_tracker(WarpTracker& t) {
+  t.reset();
+  if (++t.bailouts >= kMaxBailouts) t.mode = WarpTracker::Mode::kOff;
+}
+
+void Engine::advance_record(WarpTracker& t) {
+  if (++t.recorded == t.period) {
+    t.mode = WarpTracker::Mode::kReplay;
+    t.pos = 0;
+    ++report_.fast_forward.patterns;
+  }
+}
+
+void Engine::record_memory_slot(WarpTracker& t, const WarpState& w,
+                                MemorySpace space, const WarpBatch& batch,
+                                const BatchProfile& profile,
+                                std::int64_t stages, bool dmm_pricing) {
+  const std::int64_t n = static_cast<std::int64_t>(batch.size());
+  bool all_read = true;
+  for (const Request& r : batch) {
+    if (r.kind == AccessKind::kWrite) {
+      all_read = false;
+      break;
+    }
+  }
+  // Replayable slots need (a) full participation, so the replay loop can
+  // walk the live list, and (b) service order to be irrelevant: any
+  // all-read batch qualifies (broadcasts included), and mixed/write
+  // batches qualify when duplicate-free (no same-address write races to
+  // arbitrate, no read-vs-write ordering within the batch).
+  if (n != w.live || (!all_read && profile.distinct_addresses != n)) {
+    bail_tracker(t);
+    return;
+  }
+
+  PatternSlot& s = t.slots[static_cast<std::size_t>(t.recorded)];
+  s.kind = PatternSlot::Kind::kMemory;
+  s.space = space;
+  if (space == MemorySpace::kGlobal) t.local_only = false;
+  s.all_read = all_read;
+  s.broadcast = profile.distinct_addresses == 1;
+  s.any_shift = dmm_pricing;
+  s.cycles = 0;
+  s.stages = stages;
+  s.nreq = n;
+  s.base = batch.front().address;
+  s.deltas.resize(static_cast<std::size_t>(n));
+  s.kinds.resize(static_cast<std::size_t>(n));
+  s.min_delta = 0;
+  s.max_delta = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Request& r = batch[static_cast<std::size_t>(i)];
+    const std::int64_t d = r.address - s.base;
+    s.deltas[static_cast<std::size_t>(i)] = d;
+    s.min_delta = std::min(s.min_delta, d);
+    s.max_delta = std::max(s.max_delta, d);
+    s.kinds[static_cast<std::size_t>(i)] = r.kind == AccessKind::kWrite
+                                               ? Op::Kind::kWrite
+                                               : Op::Kind::kRead;
+  }
+  // Banks of the distinct addresses — exactly what service() charges to
+  // bank_traffic.  Replay rotates these in place when it accepts a
+  // non-multiple-of-w shift (bank_of(a+c) = (bank_of(a)+c) mod w).
+  addr_scratch_.clear();
+  for (const Request& r : batch) addr_scratch_.push_back(r.address);
+  std::sort(addr_scratch_.begin(), addr_scratch_.end());
+  addr_scratch_.erase(std::unique(addr_scratch_.begin(), addr_scratch_.end()),
+                      addr_scratch_.end());
+  const std::int64_t wdt = static_cast<std::int64_t>(width_);
+  s.banks.clear();
+  for (const Address a : addr_scratch_) {
+    s.banks.push_back(static_cast<std::int32_t>(a % wdt));
+  }
+  advance_record(t);
+}
+
+/// Service consecutive rounds from the recorded pattern in ONE queue pop
+/// — a fused block.  Per-round replay already skips batch building,
+/// profiling and service(); fusing additionally skips the requeue/pop
+/// heap churn between a warp's rounds and, more importantly, keeps the
+/// warp's 32-odd coroutine frames hot in L1 across the whole block
+/// instead of evicting them every time another warp's round runs.
+///
+/// Exactness (see the WarpTracker comment): the block keeps extending
+/// while EITHER every resource the period touches is private to this
+/// warp (exclusive regime — sole warp of its DMM, DMM-local slots, no
+/// trace consumer), OR the next round would have been the very next
+/// queue pop anyway (horizon regime).  Otherwise the round is requeued
+/// and the block ends after a single replayed round, exactly like the
+/// ordinary event loop.
+void Engine::replay_rounds(WarpState& w, WarpTracker& t) {
+  w.flagged = 0;
+  // Clear the resume marks once for the whole block instead of once per
+  // lane per round: while the warp is in replay its lanes are only ever
+  // bulk-flagged (flag_all_live), which leaves the marks untouched, and
+  // flag_lane — the one reader — runs only after a bailout hands the
+  // warp back to the slow path.
+  {
+    const std::int32_t* lanes = live_lanes(w);
+    ThreadState* const base_ts =
+        threads_.data() + static_cast<std::size_t>(w.first);
+    for (std::int64_t k = 0; k < w.live; ++k) {
+      base_ts[lanes[k]].need_resume = false;
+    }
+  }
+  const bool exclusive_fuse = w.exclusive && t.local_only && !trace_;
+  for (;;) {
+    if (!try_replay_round(w, t)) {
+      // Lanes are resumed with fresh ops posted; classify them the
+      // ordinary way (the scan raises the usual diagnostics too).
+      if (w.live == 0) {
+        finish_warp(w);
+        return;
+      }
+      dispatch_scan(w);
+      return;
+    }
+    if (exclusive_fuse) continue;
+    if (!queue_.empty()) {
+      const auto [clk, wid] = queue_.peek();
+      if (w.clock > clk || (w.clock == clk && w.id > wid)) {
+        // Another warp's round is due first: back into the queue.
+        flag_all_live(w);
+        requeue(w);
+        return;
+      }
+    }
+  }
+}
+
+/// Service one round from the recorded pattern.  Every live lane's
+/// coroutine is still resumed (kernels consume delivered values — the
+/// resumes ARE the computation), but the freshly posted ops are checked
+/// against the slot in one fused pass and the recorded pricing is applied
+/// directly: no batch build, no profiling, no service().  Everything the
+/// slow path would have done to timing, memory, traffic and trace happens
+/// here with identical values (returns true), or the round bails out and
+/// is re-serviced by the ordinary path (returns false; lanes stay
+/// resumed, their ops are intact).  The caller owns lane flags and
+/// requeueing.
+/// Resume lanes [k, nl) without verification.  Used once a round has
+/// already failed verification (or a lane died): the round is bailing
+/// to the slow path either way, but every live lane must still be
+/// resumed exactly once per round so the re-service observes a fully
+/// posted batch.  Returns whether any lane finished its task.
+bool Engine::drain_resumes(ThreadState* base_ts, const std::int32_t* lanes,
+                           std::int64_t k, std::int64_t nl) {
+  bool died = false;
+  for (; k < nl; ++k) {
+    ThreadState& ts = base_ts[lanes[k]];
+    ts.ctx.pending_.kind = Op::Kind::kNone;
+    ts.ctx.leaf_.resume();
+    if (ts.task.done()) [[unlikely]] {
+      ts.task.rethrow_if_failed();
+      ts.done = true;
+      died = true;
+    }
+  }
+  return died;
+}
+
+bool Engine::try_replay_round(WarpState& w, WarpTracker& t) {
+  PatternSlot& s = t.slots[static_cast<std::size_t>(t.pos)];
+  const std::int32_t* lanes = live_lanes(w);
+  const std::int64_t nl = w.live;
+  ThreadState* const base_ts = threads_.data() + static_cast<std::size_t>(w.first);
+
+  bool died = false;
+  std::int64_t fail = -1;
+  Address shift = 0;
+  const std::int64_t wdt = static_cast<std::int64_t>(width_);
+
+  switch (s.kind) {
+    case PatternSlot::Kind::kMemory: {
+      Machine::Port& port = port_for(w.dmm, s.space);
+      BankMemory& mem = port.memory;
+      // Lane 0 is peeled off both loop shapes: it fixes the round's
+      // shift and checks admissibility once, so the per-lane loops run
+      // without the first-lane branches.
+      {
+        ThreadState& ts = base_ts[lanes[0]];
+        ts.ctx.pending_.kind = Op::Kind::kNone;
+        ts.ctx.leaf_.resume();
+        if (ts.task.done()) [[unlikely]] {
+          ts.task.rethrow_if_failed();
+          ts.done = true;
+          died = true;
+        } else {
+          const Op& op = ts.ctx.pending_;
+          shift = op.address - s.base;
+          if (!(shift == 0 || s.broadcast || s.any_shift ||
+                shift % wdt == 0) ||
+              s.base + shift + s.min_delta < 0 ||
+              s.base + shift + s.max_delta >= mem.size() ||
+              op.kind != s.kinds[0] || op.space != s.space ||
+              op.address != s.base + shift + s.deltas[0]) {
+            fail = 0;
+          }
+        }
+      }
+      if (died || fail >= 0) {
+        died |= drain_resumes(base_ts, lanes, 1, nl);
+        break;
+      }
+      const Address abase = s.base + shift;
+      const MemorySpace space = s.space;
+      const Address* const deltas = s.deltas.data();
+      if (s.all_read) {
+        // Fused resume + verify + service.  Delivering to early lanes
+        // before a later lane fails verification is harmless for reads:
+        // the bailed round is re-serviced in full by the slow path,
+        // which overwrites delivered_ before any lane resumes again.
+        {
+          ThreadState& ts0 = base_ts[lanes[0]];
+          ts0.ctx.delivered_ = mem.replay_read(ts0.ctx.pending_.address);
+        }
+        for (std::int64_t k = 1; k < nl; ++k) {
+          ThreadState& ts = base_ts[lanes[k]];
+          ts.ctx.pending_.kind = Op::Kind::kNone;
+          ts.ctx.leaf_.resume();
+          if (ts.task.done()) [[unlikely]] {
+            ts.task.rethrow_if_failed();
+            ts.done = true;
+            died = drain_resumes(base_ts, lanes, k + 1, nl) || true;
+            break;
+          }
+          const Op& op = ts.ctx.pending_;
+          if (op.kind != Op::Kind::kRead || op.space != space ||
+              op.address != abase + deltas[k]) {
+            fail = k;
+            died |= drain_resumes(base_ts, lanes, k + 1, nl);
+            break;
+          }
+          ts.ctx.delivered_ = mem.replay_read(op.address);
+        }
+      } else {
+        // Slots containing writes verify EVERY lane before any cell is
+        // touched: a partial write burst before a verification failure
+        // would corrupt the slow-path re-service, which must observe
+        // pre-batch memory.
+        const Op::Kind* const kinds = s.kinds.data();
+        for (std::int64_t k = 1; k < nl; ++k) {
+          ThreadState& ts = base_ts[lanes[k]];
+          ts.ctx.pending_.kind = Op::Kind::kNone;
+          ts.ctx.leaf_.resume();
+          if (ts.task.done()) [[unlikely]] {
+            ts.task.rethrow_if_failed();
+            ts.done = true;
+            died = drain_resumes(base_ts, lanes, k + 1, nl) || true;
+            break;
+          }
+          const Op& op = ts.ctx.pending_;
+          if (op.kind != kinds[k] || op.space != space ||
+              op.address != abase + deltas[k]) {
+            fail = k;
+            died |= drain_resumes(base_ts, lanes, k + 1, nl);
+            break;
+          }
+        }
+        if (!died && fail < 0) {
+          // All verified; the batch is duplicate-free, so per-lane
+          // service order is irrelevant (writes land, reads see the
+          // pre-batch value of THEIR address — no aliasing possible).
+          for (std::int64_t k = 0; k < nl; ++k) {
+            ThreadState& ts = base_ts[lanes[k]];
+            const Op& op = ts.ctx.pending_;
+            if (op.kind == Op::Kind::kWrite) {
+              mem.replay_write(op.address, op.value);
+              ts.ctx.delivered_ = op.value;
+            } else {
+              ts.ctx.delivered_ = mem.replay_read(op.address);
+            }
+          }
+        }
+      }
+
+      if (died || fail >= 0) break;
+
+      // Priced effects — the exact calls the slow path would make.
+      const Cycle issue =
+          exec_[static_cast<std::size_t>(w.dmm)].acquire(w.clock, 1);
+      const PipelineSlot ps = port.pipeline.inject(issue, s.stages, s.nreq);
+      const std::int32_t rot =
+          static_cast<std::int32_t>(((shift % wdt) + wdt) % wdt);
+      if (rot == 0) {
+        for (const std::int32_t b : s.banks) mem.add_bank_traffic(b, 1);
+      } else {
+        for (std::int32_t& b : s.banks) {
+          b += rot;
+          if (b >= wdt) b -= static_cast<std::int32_t>(wdt);
+          mem.add_bank_traffic(b, 1);
+        }
+      }
+      s.base += shift;
+      w.clock = ps.data_ready;
+      if (trace_) {
+        emit_trace(TraceEvent{
+            .kind = TraceEvent::Kind::kMemory,
+            .warp = w.id,
+            .dmm = w.dmm,
+            .space = s.space,
+            .requests = s.nreq,
+            .stages = s.stages,
+            .begin = ps.inject_begin,
+            .end = ps.inject_end,
+            .ready = ps.data_ready,
+        });
+      }
+      break;
+    }
+
+    case PatternSlot::Kind::kCompute: {
+      Cycle mx = 0;
+      for (std::int64_t k = 0; k < nl; ++k) {
+        ThreadState& ts = base_ts[lanes[k]];
+        ts.ctx.pending_.kind = Op::Kind::kNone;
+        ts.ctx.leaf_.resume();
+        if (ts.task.done()) [[unlikely]] {
+          ts.task.rethrow_if_failed();
+          ts.done = true;
+          died = drain_resumes(base_ts, lanes, k + 1, nl) || true;
+          break;
+        }
+        const Op& op = ts.ctx.pending_;
+        if (op.kind != Op::Kind::kCompute) {
+          fail = k;
+          died |= drain_resumes(base_ts, lanes, k + 1, nl);
+          break;
+        }
+        mx = std::max(mx, op.cycles);
+      }
+      // The SIMD max is what the warp pays; a different max is a
+      // different round even if every op is still a compute.
+      if (!died && fail < 0 && mx != s.cycles) fail = 0;
+      if (died || fail >= 0) break;
+
+      const Cycle begin =
+          exec_[static_cast<std::size_t>(w.dmm)].acquire(w.clock, s.cycles);
+      w.clock = begin + s.cycles;
+      if (trace_) {
+        emit_trace(TraceEvent{
+            .kind = TraceEvent::Kind::kCompute,
+            .warp = w.id,
+            .dmm = w.dmm,
+            .begin = begin,
+            .end = w.clock - 1,
+            .ready = w.clock,
+        });
+      }
+      break;
+    }
+
+    case PatternSlot::Kind::kWarpSync: {
+      for (std::int64_t k = 0; k < nl; ++k) {
+        ThreadState& ts = base_ts[lanes[k]];
+        ts.ctx.pending_.kind = Op::Kind::kNone;
+        ts.ctx.leaf_.resume();
+        if (ts.task.done()) [[unlikely]] {
+          ts.task.rethrow_if_failed();
+          ts.done = true;
+          died = drain_resumes(base_ts, lanes, k + 1, nl) || true;
+          break;
+        }
+        if (ts.ctx.pending_.kind != Op::Kind::kWarpSync) {
+          fail = k;
+          died |= drain_resumes(base_ts, lanes, k + 1, nl);
+          break;
+        }
+      }
+      // Reconverging is free: nothing to price, nothing to deliver.
+      break;
+    }
+  }
+
+  if (died) {
+    // Same compaction resume_flagged performs (the one other place a
+    // lane can die).
+    std::int32_t* live = live_lanes(w);
+    std::int64_t kept = 0;
+    for (std::int64_t k = 0; k < w.live; ++k) {
+      if (!base_ts[live[k]].done) live[kept++] = live[k];
+    }
+    w.live = kept;
+  }
+  if (died || fail >= 0) {
+    bail_tracker(t);
+    ++report_.fast_forward.bailouts;
+    w.uniform = UniformClass::kMixed;  // force the scan to classify
+    return false;
+  }
+
+  t.pos = t.pos + 1 == t.period ? 0 : t.pos + 1;
+  // A completed period refunds the bailout budget: a pattern that breaks
+  // and re-forms periodically (convolution's once-per-output write) must
+  // not exhaust it and switch the tracker off.
+  if (t.pos == 0) t.bailouts = 0;
+  ++report_.fast_forward.replayed_rounds;
+  return true;
 }
 
 RunReport Machine::run(const KernelFn& kernel) {

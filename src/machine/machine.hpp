@@ -42,6 +42,7 @@
 #include "machine/topology.hpp"
 #include "mm/bank_memory.hpp"
 #include "mm/batch_cost.hpp"
+#include "mm/pattern_cache.hpp"
 #include "mm/pipeline.hpp"
 
 namespace hmm {
@@ -69,6 +70,15 @@ struct MachineConfig {
   /// (bench_engine_hotpath's "arena" section); results are identical
   /// either way, only allocation traffic changes.
   bool use_frame_arena = true;
+  /// Round-pattern memoization and verified fast-forward replay of
+  /// periodic warps (default on).  Results are identical either way —
+  /// the replay path re-verifies every lane's request before trusting a
+  /// recorded pattern and bails out to full simulation on any deviation
+  /// — so this switch exists for A/B measurement and as a conservatism
+  /// valve.  With an EngineObserver attached the replay shortcut
+  /// disables itself (full simulation, so observers see every event);
+  /// the profile cache stays on because cached profiles are exact.
+  bool fast_forward = true;
 };
 
 class Machine {
@@ -133,6 +143,24 @@ class Machine {
     return external_arena_ != nullptr ? *external_arena_ : arena_;
   }
 
+  // ---- round-pattern memoization (mm/pattern_cache.hpp) ----------------
+  /// Enable/disable the pattern cache AND the fast-forward replay for all
+  /// subsequent runs (overrides MachineConfig::fast_forward).
+  void set_fast_forward(bool enabled) { config_.fast_forward = enabled; }
+  bool fast_forward_enabled() const { return config_.fast_forward; }
+  /// Replace the machine-owned pattern cache with an external one for all
+  /// subsequent runs (nullptr restores the owned cache).  Same contract
+  /// as set_frame_arena: not owned, must outlive the runs, never shared
+  /// across threads.  SweepRunner attaches one cache per worker thread so
+  /// warm profiles carry across grid points.  Unlike the arena, the
+  /// cache is NOT reset between runs — entries are geometry-keyed and
+  /// remain exact forever.
+  void set_pattern_cache(PatternCache* cache) { external_cache_ = cache; }
+  /// The cache the next run will use (the owned one unless overridden).
+  const PatternCache& pattern_cache() const {
+    return external_cache_ != nullptr ? *external_cache_ : cache_;
+  }
+
  private:
   friend class Engine;
 
@@ -153,6 +181,8 @@ class Machine {
   EngineObserver* observer_ = nullptr;  // not owned
   FrameArena arena_;                    // frames of this machine's runs
   FrameArena* external_arena_ = nullptr;  // not owned; overrides arena_
+  PatternCache cache_;                    // priced round patterns
+  PatternCache* external_cache_ = nullptr;  // not owned; overrides cache_
 };
 
 }  // namespace hmm

@@ -35,6 +35,14 @@ class ReadyQueue {
     sift_up(heap_.size() - 1);
   }
 
+  /// The minimum entry as (clock, warp), without removing it.  The
+  /// engine's fused replay compares a warp's next round against this to
+  /// prove the round would be the next pop anyway (see machine.cpp).
+  std::pair<Cycle, WarpId> peek() const {
+    HMM_ASSERT(!heap_.empty(), "peek at an empty ready queue");
+    return {heap_.front().clock, heap_.front().warp};
+  }
+
   /// Remove and return the minimum entry as (clock, warp).
   std::pair<Cycle, WarpId> pop() {
     HMM_ASSERT(!heap_.empty(), "pop from an empty ready queue");

@@ -93,6 +93,21 @@ struct MetricsSnapshot {
                          const MetricsSnapshot&) = default;
 };
 
+/// Diagnostics of the round-pattern cache and the verified fast-forward
+/// replay path (docs/PERF.md, "Analytic fast-forward").  These counters
+/// describe HOW a result was computed, not WHAT it is: cache hit rates
+/// depend on cache warmth (a sweep worker reuses one cache across grid
+/// points) and replayed_rounds depends on whether the shortcut was
+/// enabled — so FastForwardStats is deliberately EXCLUDED from
+/// RunReport::operator==, which compares simulation results only.
+struct FastForwardStats {
+  std::int64_t cache_hits = 0;      ///< profile_batch calls skipped
+  std::int64_t cache_misses = 0;    ///< batches priced then memoized
+  std::int64_t replayed_rounds = 0; ///< rounds serviced by verified replay
+  std::int64_t patterns = 0;        ///< periodic patterns recorded
+  std::int64_t bailouts = 0;        ///< replays abandoned on verify failure
+};
+
 struct RunReport {
   Cycle makespan = 0;  ///< completion time of the slowest warp (time units)
 
@@ -110,9 +125,23 @@ struct RunReport {
   /// (cumulative over every run that registry has seen).
   std::optional<MetricsSnapshot> metrics;
 
+  /// How the engine got here (cache/replay work).  Not part of the
+  /// simulated result; see FastForwardStats.
+  FastForwardStats fast_forward;
+
   /// Byte-for-byte comparability: determinism tests assert that repeated
-  /// runs (and sweeps at any thread count) produce identical reports.
-  friend bool operator==(const RunReport&, const RunReport&) = default;
+  /// runs (and sweeps at any thread count) produce identical reports, and
+  /// that fast-forward on vs off agrees on every field compared here.
+  /// `fast_forward` is intentionally omitted — it reports engine
+  /// strategy, not simulation output.
+  friend bool operator==(const RunReport& a, const RunReport& b) {
+    return a.makespan == b.makespan &&
+           a.global_pipeline == b.global_pipeline &&
+           a.shared_pipelines == b.shared_pipelines && a.exec == b.exec &&
+           a.barrier_releases == b.barrier_releases &&
+           a.threads == b.threads && a.warps == b.warps &&
+           a.trace == b.trace && a.metrics == b.metrics;
+  }
 };
 
 }  // namespace hmm

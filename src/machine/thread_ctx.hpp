@@ -64,31 +64,47 @@ class ThreadCtx {
     void await_resume() const noexcept {}
   };
 
+  // Each op writes ONLY the mailbox fields the engine reads for its
+  // kind; the rest keep whatever the previous op left there.  No
+  // consumer looks at them (pricing fingerprints hash addresses and
+  // access kinds, service() reads `value` for writes only, `cycles` is
+  // read for computes only, `scope` for barriers only), and posting
+  // three words instead of copying a zeroed Op keeps the resume path —
+  // the engine's hottest loop — short.
+
   /// Read one word; resumes with the value once the access completes.
   WordAwaiter read(MemorySpace space, Address address) {
-    post(Op{.kind = Op::Kind::kRead, .space = space, .address = address});
+    check_idle();
+    pending_.kind = Op::Kind::kRead;
+    pending_.space = space;
+    pending_.address = address;
     return WordAwaiter{this};
   }
 
   /// Write one word; resumes once the access completes.
   VoidAwaiter write(MemorySpace space, Address address, Word value) {
-    post(Op{.kind = Op::Kind::kWrite,
-            .space = space,
-            .address = address,
-            .value = value});
+    check_idle();
+    pending_.kind = Op::Kind::kWrite;
+    pending_.space = space;
+    pending_.address = address;
+    pending_.value = value;
     return VoidAwaiter{this};
   }
 
   /// Perform `cycles` time units of local RAM work.
   VoidAwaiter compute(Cycle cycles = 1) {
     HMM_REQUIRE(cycles >= 1, "compute: cycles must be >= 1");
-    post(Op{.kind = Op::Kind::kCompute, .cycles = cycles});
+    check_idle();
+    pending_.kind = Op::Kind::kCompute;
+    pending_.cycles = cycles;
     return VoidAwaiter{this};
   }
 
   /// Synchronise with every live warp of the scope.
   VoidAwaiter barrier(BarrierScope scope = BarrierScope::kDmm) {
-    post(Op{.kind = Op::Kind::kBarrier, .scope = scope});
+    check_idle();
+    pending_.kind = Op::Kind::kBarrier;
+    pending_.scope = scope;
     return VoidAwaiter{this};
   }
 
@@ -97,18 +113,22 @@ class ThreadCtx {
   /// intra-warp communication through memory (without a full barrier)
   /// must warp_sync first — the model analogue of CUDA's __syncwarp().
   VoidAwaiter warp_sync() {
-    post(Op{.kind = Op::Kind::kWarpSync});
+    check_idle();
+    pending_.kind = Op::Kind::kWarpSync;
     return VoidAwaiter{this};
   }
 
  private:
   friend class Engine;
 
-  void post(const Op& op) {
+  /// The one-outstanding-op contract (§II: threads are RAMs with one
+  /// pending request).  The engine clears `kind` when it resumes the
+  /// thread, so a non-kNone kind here means the kernel issued two ops
+  /// without co_awaiting in between.
+  void check_idle() const {
     HMM_REQUIRE(pending_.kind == Op::Kind::kNone,
                 "thread issued a new operation before co_awaiting the "
                 "previous one");
-    pending_ = op;
   }
 
   // identity (set by the engine at launch)

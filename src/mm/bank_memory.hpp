@@ -59,6 +59,22 @@ class BankMemory {
 
   void reset_traffic();
 
+  // Lean accessors for the engine's verified replay path.  They bypass
+  // service()'s batch machinery but must reproduce its effects exactly;
+  // the replay path only uses them for batches it has proven are
+  // duplicate-free (or all-read), where per-request service order is
+  // irrelevant.  Addresses must be pre-validated against size().
+  Word replay_read(Address a) const {
+    return cells_[static_cast<std::size_t>(a)];
+  }
+  void replay_write(Address a, Word v) {
+    cells_[static_cast<std::size_t>(a)] = v;
+  }
+  /// One distinct-address access on bank `b` (same unit service() counts).
+  void add_bank_traffic(BankId b, std::int64_t count) {
+    bank_traffic_[static_cast<std::size_t>(b)] += count;
+  }
+
  private:
   MemoryGeometry geometry_;
   std::vector<Word> cells_;

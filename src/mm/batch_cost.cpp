@@ -33,6 +33,15 @@ inline T* table_for(std::vector<T>& table, std::size_t i) {
 
 }  // namespace
 
+// footprint_bytes() enumerates exactly four tables plus the epoch
+// counter.  If this assert fires you added a scratch member: extend the
+// sum in batch_cost.hpp (and the footprint regression test), then update
+// the expected layout here.
+static_assert(sizeof(BatchCostScratch) ==
+                  sizeof(std::uint64_t) + 4 * sizeof(std::vector<std::uint64_t>),
+              "BatchCostScratch gained a member footprint_bytes() does not "
+              "cover — audit mm/batch_cost.hpp");
+
 std::int64_t dmm_batch_stages(const MemoryGeometry& geom,
                               std::span<const Request> batch) {
   return profile_batch(geom, batch).dmm_stages;

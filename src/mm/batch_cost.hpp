@@ -54,12 +54,15 @@ class BatchCostScratch {
  public:
   BatchCostScratch() = default;
 
-  /// Bytes currently held by the tables (diagnostics only).
+  /// Bytes currently held by the tables (diagnostics only).  Every
+  /// scratch table the stamped pass owns must be enumerated here — a
+  /// static_assert in batch_cost.cpp pins sizeof(BatchCostScratch) so
+  /// adding a member without updating this sum fails to compile.
   std::size_t footprint_bytes() const {
-    return addr_epoch_.capacity() * sizeof(std::uint64_t) +
-           group_epoch_.capacity() * sizeof(std::uint64_t) +
-           bank_epoch_.capacity() * sizeof(std::uint64_t) +
-           bank_count_.capacity() * sizeof(std::int64_t);
+    return addr_epoch_.capacity() * sizeof(std::uint64_t) +   // 1: addresses
+           group_epoch_.capacity() * sizeof(std::uint64_t) +  // 2: groups
+           bank_epoch_.capacity() * sizeof(std::uint64_t) +   // 3: banks
+           bank_count_.capacity() * sizeof(std::int64_t);     // 4: counts
   }
 
  private:

@@ -1,0 +1,119 @@
+#include "mm/pattern_cache.hpp"
+
+#include <cstring>
+
+namespace hmm {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline void mix(std::uint64_t& h, std::uint64_t word) {
+  h ^= word;
+  h *= kFnvPrime;
+}
+
+}  // namespace
+
+PatternKeyInfo build_pattern_key(const MemoryGeometry& geom,
+                                 std::span<const Request> batch,
+                                 std::vector<std::uint64_t>& key) {
+  key.clear();
+  const std::int64_t w = geom.width();
+  const Address base = batch.empty() ? 0 : batch.front().address;
+  // Key layout: [width, base mod w, delta_0 .. delta_{n-1}].  The batch
+  // size is implied by the word count, delta_0 is always 0 (kept so the
+  // key length states the batch size and replay slots can index lanes
+  // and deltas uniformly).
+  key.reserve(batch.size() + 2);
+  key.push_back(static_cast<std::uint64_t>(w));
+  key.push_back(static_cast<std::uint64_t>(base % w));
+
+  PatternKeyInfo info;
+  std::uint64_t cache_h = kFnvOffset;
+  std::uint64_t shape_h = kFnvOffset;
+  mix(cache_h, key[0]);
+  mix(cache_h, key[1]);
+  mix(shape_h, key[0]);  // shape hash keeps the width, drops base mod w
+  for (const Request& r : batch) {
+    const std::uint64_t delta =
+        static_cast<std::uint64_t>(r.address - base);
+    key.push_back(delta);
+    mix(cache_h, delta);
+    // Fold the access kind into the shape stream: a read round and a
+    // write round price identically but must never REPLAY as the same
+    // pattern (servicing differs), so the periodicity detector keeps
+    // them apart.
+    mix(shape_h,
+        (delta << 1) ^ static_cast<std::uint64_t>(r.kind == AccessKind::kWrite));
+  }
+  info.cache_fp = cache_h;
+  info.shape_fp = shape_h;
+  return info;
+}
+
+bool PatternCache::find(std::uint64_t fp, std::span<const std::uint64_t> key,
+                        BatchProfile& out) {
+  if (!buckets_.empty()) {
+    const std::size_t mask = buckets_.size() - 1;
+    for (std::int32_t i = buckets_[fp & mask]; i >= 0;
+         i = entries_[static_cast<std::size_t>(i)].next) {
+      const Entry& e = entries_[static_cast<std::size_t>(i)];
+      if (e.fp != fp || e.key_len != key.size()) continue;
+      if (std::memcmp(key_words_.data() + e.key_offset, key.data(),
+                      key.size() * sizeof(std::uint64_t)) != 0) {
+        continue;
+      }
+      ++hits_;
+      out = e.profile;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+void PatternCache::insert(std::uint64_t fp, std::span<const std::uint64_t> key,
+                          const BatchProfile& profile) {
+  if (buckets_.empty()) {
+    rehash(64);
+  } else if (entries_.size() + 1 > (buckets_.size() * 3) / 4) {
+    rehash(buckets_.size() * 2);
+  }
+  Entry e;
+  e.fp = fp;
+  e.key_offset = static_cast<std::uint32_t>(key_words_.size());
+  e.key_len = static_cast<std::uint32_t>(key.size());
+  e.profile = profile;
+  key_words_.insert(key_words_.end(), key.begin(), key.end());
+  const std::size_t mask = buckets_.size() - 1;
+  e.next = buckets_[fp & mask];
+  buckets_[fp & mask] = static_cast<std::int32_t>(entries_.size());
+  entries_.push_back(e);
+}
+
+void PatternCache::clear() {
+  buckets_.clear();
+  entries_.clear();
+  key_words_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void PatternCache::rehash(std::size_t buckets) {
+  buckets_.assign(buckets, -1);
+  const std::size_t mask = buckets - 1;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    e.next = buckets_[e.fp & mask];
+    buckets_[e.fp & mask] = static_cast<std::int32_t>(i);
+  }
+}
+
+std::size_t PatternCache::footprint_bytes() const {
+  return buckets_.capacity() * sizeof(std::int32_t) +
+         entries_.capacity() * sizeof(Entry) +
+         key_words_.capacity() * sizeof(std::uint64_t);
+}
+
+}  // namespace hmm

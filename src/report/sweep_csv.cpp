@@ -6,7 +6,8 @@
 namespace hmm {
 
 std::string sweep_csv_header(bool metrics, bool sharded) {
-  std::string header = "algorithm,model,n,m,p,w,l,d,time,global_stages";
+  std::string header =
+      "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds";
   if (metrics) {
     header +=
         ",conflict_degree_max,address_groups_max,memory_stall,barrier_stall,"
@@ -21,10 +22,11 @@ std::string sweep_csv_row(const SweepPoint& point, const SweepMeasurement& m,
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "%s,%s,%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64
-                ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64,
+                ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64,
                 point.algorithm.c_str(), point.model.c_str(), point.n, point.m,
                 point.p, point.w, point.l, point.d,
-                static_cast<std::int64_t>(m.time), m.global_stages);
+                static_cast<std::int64_t>(m.time), m.global_stages,
+                m.ff_rounds);
   std::string row = buf;
   if (m.metrics != nullptr) {
     const MetricsSnapshot& s = *m.metrics;

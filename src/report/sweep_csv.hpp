@@ -2,7 +2,7 @@
 // for grid sweeps, shared by the CLI (tools/hmmsim.cpp) and the shard
 // merge tool (tools/hmm-merge.cpp).
 //
-// Base columns:    algorithm,model,n,m,p,w,l,d,time,global_stages
+// Base columns:    algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds
 // --metrics adds:  conflict_degree_max,address_groups_max,memory_stall,
 //                  barrier_stall,latency_hiding
 // Sharded runs add (always last, so a merge can strip them by count):
@@ -36,6 +36,12 @@ struct SweepPoint {
 struct SweepMeasurement {
   Cycle time = 0;
   std::int64_t global_stages = 0;
+  /// Rounds the engine fast-forwarded via verified pattern replay
+  /// (RunReport::fast_forward.replayed_rounds).  Deterministic for a
+  /// given grid point and --fast-forward setting — unlike the cache
+  /// hit/miss counters, which depend on cache warmth and so stay out of
+  /// the CSV.
+  std::int64_t ff_rounds = 0;
   /// Non-null when the run was observed by a MetricsRegistry (--metrics);
   /// adds the five metric columns.  Not owned.
   const MetricsSnapshot* metrics = nullptr;

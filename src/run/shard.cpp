@@ -115,6 +115,8 @@ std::string GridSpec::canonical() const {
   s += std::to_string(seed);
   s += "|metrics=";
   s += metrics ? '1' : '0';
+  s += "|ff=";
+  s += fast_forward ? '1' : '0';
   return s;
 }
 
@@ -146,6 +148,7 @@ Manifest plan_manifest(const GridSpec& spec, std::int64_t shards,
                   "--l", join(spec.l), "--d", join(spec.d),
                   "--seed", std::to_string(spec.seed)};
     if (spec.metrics) entry.argv.push_back("--metrics");
+    if (!spec.fast_forward) entry.argv.push_back("--fast-forward=off");
     entry.argv.push_back("--shard=" + std::to_string(i) + "/" +
                          std::to_string(shards));
     manifest.entries.push_back(std::move(entry));
@@ -183,6 +186,8 @@ std::string manifest_json(const Manifest& manifest) {
   field(out, "seed", std::to_string(manifest.grid.seed), false);
   out += ",\n    \"metrics\": ";
   out += manifest.grid.metrics ? "true" : "false";
+  out += ",\n    \"fast_forward\": ";
+  out += manifest.grid.fast_forward ? "true" : "false";
   out += ",\n    \"axes\": {\n";
   const std::vector<std::int64_t>* axes[] = {
       &manifest.grid.n, &manifest.grid.m, &manifest.grid.p,
@@ -233,6 +238,7 @@ Manifest parse_manifest_json(const std::string& text) {
   manifest.grid.seed =
       static_cast<std::uint64_t>(grid.get("seed").as_int64());
   manifest.grid.metrics = grid.get("metrics").as_bool();
+  manifest.grid.fast_forward = grid.get("fast_forward").as_bool();
   const json::Value& axes = grid.get("axes");
   manifest.grid.n = parse_axis(axes, "n");
   manifest.grid.m = parse_axis(axes, "m");

@@ -66,7 +66,11 @@ struct GridSpec {
   std::string model = "hmm";
   std::vector<std::int64_t> n, m, p, w, l, d;
   std::uint64_t seed = 1;
-  bool metrics = false;  ///< rows carry the five metric columns
+  bool metrics = false;       ///< rows carry the five metric columns
+  bool fast_forward = true;   ///< engine replay shortcut (hmmsim
+                              ///< --fast-forward); part of the identity
+                              ///< because shards must agree on it even
+                              ///< though results are provably equal
 
   /// Total grid points (product of the six axis sizes).
   std::int64_t points() const;

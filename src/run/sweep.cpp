@@ -66,8 +66,16 @@ std::vector<RunReport> SweepRunner::run(std::span<const SweepJob> sweep) const {
     // machine: the run resets it (cheap, chunks are kept), so chunk
     // allocation is paid once per worker instead of once per grid point.
     static thread_local FrameArena arena;
+    // Likewise one pattern cache per worker: entries are keyed on
+    // geometry + batch shape, so profiles priced at one grid point stay
+    // exact at every other — warm caches carry across the sweep.  (Cache
+    // WARMTH varies with worker scheduling; results never do, and the
+    // CSV/report fields compared by determinism tests exclude hit
+    // counters.)
+    static thread_local PatternCache pattern_cache;
     Machine machine(job.config);
     machine.set_frame_arena(&arena);
+    machine.set_pattern_cache(&pattern_cache);
     machine.set_observer(job.observer);
     if (job.setup) job.setup(machine);
     RunReport report = machine.run(job.kernel);

@@ -6,6 +6,7 @@
 #include "core/rng.hpp"
 #include "mm/batch_cost.hpp"
 #include "mm/geometry.hpp"
+#include "mm/pattern_cache.hpp"
 
 namespace hmm {
 namespace {
@@ -177,6 +178,96 @@ TEST(BatchCostScratchProperty, MatchesReferenceAcrossReusedScratch) {
     ASSERT_EQ(fast, ref) << "w=" << w << " trial=" << trial;
     EXPECT_LE(fast.dmm_stages, fast.umm_stages);
   }
+}
+
+// Randomized PatternCache cross-check: for any batch stream, a cached
+// profile must be byte-identical to what the sort-based reference (the
+// executable specification) computes fresh — including on hits produced
+// by uniform multiple-of-w translations, which the canonical key
+// (width, base mod w, deltas) maps to the same entry on purpose.
+TEST(PatternCacheProperty, CachedProfilesMatchReferenceOnRandomBatches) {
+  Rng rng(90210);
+  PatternCache cache;
+  std::vector<std::uint64_t> key;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::int64_t w = 1 + static_cast<std::int64_t>(rng.next_below(32));
+    const MemoryGeometry g(w);
+    WarpBatch b;
+    const auto lanes = 1 + rng.next_below(static_cast<std::uint64_t>(w));
+    // A small address range re-creates shapes often (exercising hits); a
+    // translated re-presentation exercises the base-mod-w equivalence.
+    const Address shift =
+        (trial % 4 == 0) ? static_cast<Address>(w) * 7 : 0;
+    for (std::uint64_t i = 0; i < lanes; ++i) {
+      b.push_back(Request{.lane = static_cast<ThreadId>(i),
+                          .kind = AccessKind::kRead,
+                          .address =
+                              static_cast<Address>(rng.next_below(64)) + shift,
+                          .value = 0});
+    }
+    const PatternKeyInfo info = build_pattern_key(g, b, key);
+    BatchProfile cached;
+    const BatchProfile ref = profile_batch_reference(g, b);
+    if (cache.find(info.cache_fp, key, cached)) {
+      ASSERT_EQ(cached, ref) << "stale/aliased cache entry, trial " << trial;
+    } else {
+      cache.insert(info.cache_fp, key, ref);
+    }
+  }
+  // The range is tight enough that the stream MUST repeat shapes; a
+  // hitless run means the key or fingerprint broke.
+  EXPECT_GT(cache.hits(), 0);
+  EXPECT_EQ(cache.hits() + cache.misses(), 2000);
+}
+
+// footprint_bytes() contracts (both scratch structures): never shrinks
+// while work is added, and reflects real growth once tables warm up.
+// The BatchCostScratch sum is additionally pinned by a static_assert in
+// batch_cost.cpp — a new member that isn't enumerated fails the build.
+TEST(FootprintBytes, GrowsMonotonicallyWithUse) {
+  BatchCostScratch scratch;
+  const std::size_t empty = scratch.footprint_bytes();
+  std::size_t prev = empty;
+  for (const Address top : {Address{16}, Address{256}, Address{4096}}) {
+    const MemoryGeometry g(16);
+    WarpBatch b;
+    for (std::int64_t lane = 0; lane < 16; ++lane) {
+      b.push_back(Request{.lane = lane, .kind = AccessKind::kRead,
+                          .address = top - lane, .value = 0});
+    }
+    profile_batch(g, b, scratch);
+    const std::size_t now = scratch.footprint_bytes();
+    EXPECT_GE(now, prev) << "scratch shrank at address ceiling " << top;
+    prev = now;
+  }
+  EXPECT_GT(prev, empty);  // the tables actually grew
+
+  PatternCache cache;
+  std::vector<std::uint64_t> key;
+  std::size_t cache_prev = cache.footprint_bytes();
+  const MemoryGeometry g(8);
+  for (int i = 0; i < 200; ++i) {
+    WarpBatch b;
+    for (std::int64_t lane = 0; lane < 8; ++lane) {
+      b.push_back(Request{.lane = lane, .kind = AccessKind::kRead,
+                          .address = static_cast<Address>(i * 8 + lane),
+                          .value = 0});
+    }
+    const PatternKeyInfo info = build_pattern_key(g, b, key);
+    BatchProfile out;
+    if (!cache.find(info.cache_fp, key, out)) {
+      cache.insert(info.cache_fp, key, profile_batch_reference(g, b));
+    }
+    const std::size_t now = cache.footprint_bytes();
+    EXPECT_GE(now, cache_prev) << "cache shrank at insert " << i;
+    cache_prev = now;
+  }
+  EXPECT_GT(cache_prev, 0u);
+  // clear() drops entries but keeps capacity: the footprint (capacity
+  // bytes) must not grow from clearing.
+  cache.clear();
+  EXPECT_LE(cache.footprint_bytes(), cache_prev);
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 // Property: batch costs are permutation invariant (the MMU prices the

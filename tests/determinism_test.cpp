@@ -6,12 +6,19 @@
 // counter, pipeline stat and trace event).
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
+#include "alg/convolution.hpp"
+#include "alg/matmul.hpp"
+#include "alg/prefix_sums.hpp"
+#include "alg/sort.hpp"
+#include "alg/string_match.hpp"
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
 #include "machine/machine.hpp"
 #include "run/sweep.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hmm {
 namespace {
@@ -100,6 +107,133 @@ TEST(Determinism, SweepForEachCoversEveryIndexExactlyOnce) {
                             << " threads";
     }
   }
+}
+
+// ---- Fast-forward equivalence ---------------------------------------------
+//
+// The verified replay path (docs/PERF.md, "Analytic fast-forward") is an
+// engine STRATEGY, not a model change: with --fast-forward on or off,
+// every field RunReport::operator== compares — makespan, pipeline and
+// exec stats, barrier releases, trace, metrics — must agree exactly.
+// Only FastForwardStats (excluded from equality by design) may differ.
+
+struct FfDriver {
+  const char* name;
+  std::function<RunReport(bool)> run;
+};
+
+std::vector<FfDriver> ff_drivers() {
+  // Shared inputs, captured by value so each case is self-contained.
+  const auto xs = alg::random_words(1 << 12, 17);       // sums, scans, conv
+  const auto keys = alg::random_words(1 << 9, 29);      // bitonic sorts
+  const auto taps = alg::random_words(8, 23);           // conv kernel
+  // Conv signal: length n + m - 1 with n a multiple of the HMM d.
+  const auto sig = alg::random_words((1 << 12) + 8 - 1, 43);
+  const auto pattern = alg::random_words(8, 19);
+  const auto text = alg::random_words(1 << 10, 31);
+  const auto a = alg::random_words(16 * 16, 37);
+  const auto b = alg::random_words(16 * 16, 41);
+  return {
+      {"sum_umm",
+       [=](bool ff) {
+         return alg::sum_umm(xs, 256, 32, 100, nullptr, ff).report;
+       }},
+      {"sum_hmm",
+       [=](bool ff) {
+         return alg::sum_hmm(xs, 4, 64, 32, 100, nullptr, ff).report;
+       }},
+      {"prefix_sums_umm",
+       [=](bool ff) {
+         return alg::prefix_sums_umm(xs, 256, 32, 100, nullptr, ff).report;
+       }},
+      {"prefix_sums_hmm",
+       [=](bool ff) {
+         return alg::prefix_sums_hmm(xs, 4, 64, 32, 100, nullptr, ff).report;
+       }},
+      {"sort_umm",
+       [=](bool ff) {
+         return alg::sort_umm(keys, 128, 32, 100, nullptr, ff).report;
+       }},
+      {"sort_hmm",
+       [=](bool ff) {
+         return alg::sort_hmm(keys, 4, 32, 32, 100, nullptr, ff).report;
+       }},
+      {"convolution_umm",
+       [=](bool ff) {
+         return alg::convolution_umm(taps, sig, 256, 32, 100, nullptr, ff)
+             .report;
+       }},
+      {"convolution_hmm",
+       [=](bool ff) {
+         return alg::convolution_hmm(taps, sig, 4, 32, 32, 100, nullptr, ff)
+             .report;
+       }},
+      {"matmul_umm",
+       [=](bool ff) {
+         return alg::matmul_umm(a, b, 16, 256, 32, 100, nullptr, ff).report;
+       }},
+      {"matmul_hmm_tiled",
+       [=](bool ff) {
+         return alg::matmul_hmm_tiled(a, b, 16, 4, 32, 32, 100, /*tile=*/8,
+                                      nullptr, ff)
+             .report;
+       }},
+      {"string_match_umm",
+       [=](bool ff) {
+         return alg::string_match_umm(pattern, text, 128, 32, 100, nullptr,
+                                      ff)
+             .report;
+       }},
+      {"string_match_hmm",
+       [=](bool ff) {
+         return alg::string_match_hmm(pattern, text, 4, 32, 32, 100, nullptr,
+                                      ff)
+             .report;
+       }},
+  };
+}
+
+TEST(FastForwardEquivalence, EverySpanDriverMatchesWithReplayOff) {
+  std::int64_t replayed_on = 0;
+  for (const FfDriver& d : ff_drivers()) {
+    const RunReport on = d.run(true);
+    const RunReport off = d.run(false);
+    EXPECT_EQ(on, off) << d.name;
+    EXPECT_EQ(off.fast_forward.replayed_rounds, 0)
+        << d.name << ": off must not replay";
+    replayed_on += on.fast_forward.replayed_rounds;
+  }
+  // The equivalence must not pass vacuously: at least some drivers
+  // (periodic sums / scans / convolution) have to actually replay.
+  EXPECT_GT(replayed_on, 0);
+}
+
+TEST(FastForwardEquivalence, TracedRunsMatchEventForEvent) {
+  const std::int64_t n = 1 << 10;
+  const auto xs = alg::random_words(n, 7);
+  auto run = [&](bool ff) {
+    Machine m = Machine::hmm(32, 100, 2, 64, 64, n + 2, /*record_trace=*/true);
+    m.set_fast_forward(ff);
+    m.global_memory().load(0, xs);
+    return alg::sum_hmm(m, n).report;
+  };
+  const RunReport on = run(true);
+  const RunReport off = run(false);
+  ASSERT_FALSE(on.trace.empty());
+  EXPECT_EQ(on, off);
+}
+
+TEST(FastForwardEquivalence, MetricsObserverSeesIdenticalRuns) {
+  const auto xs = alg::random_words(1 << 11, 13);
+  auto run = [&](bool ff) {
+    telemetry::MetricsRegistry metrics;
+    const RunReport r = alg::sum_hmm(xs, 4, 32, 32, 100, &metrics, ff).report;
+    return std::pair<RunReport, MetricsSnapshot>{r, metrics.snapshot()};
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+  EXPECT_EQ(on.first, off.first);
+  EXPECT_EQ(on.second, off.second);
 }
 
 TEST(Determinism, SweepPropagatesWorkerExceptions) {

@@ -126,6 +126,9 @@ TEST(GridSpec, FingerprintIsStableAndSensitive) {
   other.metrics = true;
   EXPECT_NE(other.fingerprint(), spec.fingerprint());
   other = spec;
+  other.fast_forward = false;
+  EXPECT_NE(other.fingerprint(), spec.fingerprint());
+  other = spec;
   other.algorithm = "sort";
   EXPECT_NE(other.fingerprint(), spec.fingerprint());
 }
@@ -239,21 +242,21 @@ TEST(Json, EscapeRoundTripsThroughParse) {
 
 TEST(SweepCsv, HeaderVariants) {
   EXPECT_EQ(sweep_csv_header(false, false),
-            "algorithm,model,n,m,p,w,l,d,time,global_stages");
+            "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds");
   EXPECT_EQ(sweep_csv_header(false, true),
-            "algorithm,model,n,m,p,w,l,d,time,global_stages,"
+            "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds,"
             "grid_index,shard,fingerprint");
   EXPECT_EQ(sweep_csv_header(true, true),
-            "algorithm,model,n,m,p,w,l,d,time,global_stages,"
+            "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds,"
             "conflict_degree_max,address_groups_max,memory_stall,"
             "barrier_stall,latency_hiding,grid_index,shard,fingerprint");
 }
 
 TEST(SweepCsv, ShardedRowIsTheBaseRowPlusTag) {
   const SweepPoint point{"sum", "hmm", 4096, 32, 2048, 32, 400, 16};
-  const SweepMeasurement measured{2122, 146, nullptr};
+  const SweepMeasurement measured{2122, 146, 97, nullptr};
   const std::string base = sweep_csv_row(point, measured);
-  EXPECT_EQ(base, "sum,hmm,4096,32,2048,32,400,16,2122,146");
+  EXPECT_EQ(base, "sum,hmm,4096,32,2048,32,400,16,2122,146,97");
 
   const ShardTag tag{5, 1, "9ecd17ffc63d0566"};
   const std::string sharded = sweep_csv_row(point, measured, &tag);
@@ -270,9 +273,9 @@ TEST(SweepCsv, MetricsColumnsMatchTheLegacyFormat) {
   s.barrier_stall_cycles = 40;
   s.latency_hiding = 0.5;
   const SweepPoint point{"sum", "umm", 1, 2, 3, 4, 5, 6};
-  const SweepMeasurement measured{7, 8, &s};
+  const SweepMeasurement measured{7, 8, 9, &s};
   EXPECT_EQ(sweep_csv_row(point, measured),
-            "sum,umm,1,2,3,4,5,6,7,8,1,2,30,40,0.500000");
+            "sum,umm,1,2,3,4,5,6,7,8,9,1,2,30,40,0.500000");
 }
 
 }  // namespace

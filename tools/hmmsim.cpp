@@ -62,6 +62,7 @@ struct Options {
   std::int64_t d = 16;
   std::uint64_t seed = 1;
   bool csv = false;
+  bool fast_forward = true;
 };
 
 /// The command line before grid expansion: each axis is a value list.
@@ -77,6 +78,7 @@ struct Cli {
   std::uint64_t seed = 1;
   std::int64_t jobs = 1;
   bool csv = false;
+  bool fast_forward = true;                 ///< --fast-forward=on|off
   bool check = false;
   analysis::CheckerConfig check_cfg;
   std::string trace_path;                   ///< empty: no trace export
@@ -115,7 +117,12 @@ int usage(const char* argv0) {
       "  --jobs J          worker threads for sweeps; 0 = all cores "
       "(default 1)\n"
       "  --csv             one CSV line: algorithm,model,n,m,p,w,l,d,"
-      "time,global_stages\n"
+      "time,global_stages,ff_rounds\n"
+      "  --fast-forward=on|off  round-pattern memoization and verified\n"
+      "                    replay of periodic warps (default on).  Results\n"
+      "                    are identical either way; off forces full\n"
+      "                    simulation of every round (A/B timing, see\n"
+      "                    docs/PERF.md).\n"
       "  --check[=KINDS]   run the access checker (sum and sort only;\n"
       "                    single operating point).  KINDS is a comma list\n"
       "                    of race,bounds,conflict (default: all).  Exit\n"
@@ -204,6 +211,14 @@ bool parse(int argc, char** argv, Cli& cli) {
     };
     if (a == "--csv") {
       cli.csv = true;
+    } else if (a == "--fast-forward=on") {
+      cli.fast_forward = true;
+    } else if (a == "--fast-forward=off") {
+      cli.fast_forward = false;
+    } else if (a.rfind("--fast-forward", 0) == 0) {
+      // "--fast-forward" bare or with any other value is a usage error,
+      // not a silently ignored axis name.
+      return false;
     } else if (a == "--metrics" || a == "--metrics=table") {
       cli.metrics = true;
       cli.metrics_csv = false;
@@ -297,6 +312,7 @@ run::GridSpec grid_spec(const Cli& cli) {
   spec.d = cli.d;
   spec.seed = cli.seed;
   spec.metrics = cli.metrics;
+  spec.fast_forward = cli.fast_forward;
   return spec;
 }
 
@@ -320,6 +336,7 @@ std::vector<Options> expand_grid(const Cli& cli) {
               o.d = d;
               o.seed = cli.seed;
               o.csv = cli.csv;
+              o.fast_forward = cli.fast_forward;
               grid.push_back(std::move(o));
             }
   return grid;
@@ -328,6 +345,7 @@ std::vector<Options> expand_grid(const Cli& cli) {
 struct Outcome {
   Cycle time = 0;
   std::int64_t global_stages = 0;
+  std::int64_t ff_rounds = 0;  ///< RunReport::fast_forward.replayed_rounds
   std::string summary;
   std::optional<MetricsSnapshot> metrics;  ///< --metrics only
 };
@@ -343,25 +361,28 @@ Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
   auto finish = [&](const RunReport& r, std::string summary) {
     out.time = r.makespan;
     out.global_stages = r.global_pipeline.stages;
+    out.ff_rounds = r.fast_forward.replayed_rounds;
     out.summary = std::move(summary);
   };
 
   if (o.algorithm == "sum") {
     const auto xs = workloads.random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::sum_hmm(*xs, o.d, pd, o.w, o.l, observer);
+      const auto r = alg::sum_hmm(*xs, o.d, pd, o.w, o.l, observer, o.fast_forward);
       finish(r.report, "sum = " + std::to_string(r.sum));
     } else {
-      const auto r = alg::sum_umm(*xs, o.p, o.w, o.l, observer);
+      const auto r = alg::sum_umm(*xs, o.p, o.w, o.l, observer, o.fast_forward);
       finish(r.report, "sum = " + std::to_string(r.sum));
     }
   } else if (o.algorithm == "scan") {
     const auto xs = workloads.random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::prefix_sums_hmm(*xs, o.d, pd, o.w, o.l, observer);
+      const auto r = alg::prefix_sums_hmm(*xs, o.d, pd, o.w, o.l, observer,
+                                          o.fast_forward);
       finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
     } else {
-      const auto r = alg::prefix_sums_umm(*xs, o.p, o.w, o.l, observer);
+      const auto r = alg::prefix_sums_umm(*xs, o.p, o.w, o.l, observer,
+                                          o.fast_forward);
       finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
     }
   } else if (o.algorithm == "conv") {
@@ -369,20 +390,22 @@ Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
     const auto x =
         workloads.random_words(alg::conv_signal_length(o.m, o.n), o.seed + 1);
     if (hmm_model) {
-      const auto r = alg::convolution_hmm(*a, *x, o.d, pd, o.w, o.l, observer);
+      const auto r = alg::convolution_hmm(*a, *x, o.d, pd, o.w, o.l, observer,
+                                          o.fast_forward);
       finish(r.report, "z[0] = " + std::to_string(r.z.front()));
     } else {
-      const auto r = alg::convolution_umm(*a, *x, o.p, o.w, o.l, observer);
+      const auto r = alg::convolution_umm(*a, *x, o.p, o.w, o.l, observer,
+                                          o.fast_forward);
       finish(r.report, "z[0] = " + std::to_string(r.z.front()));
     }
   } else if (o.algorithm == "sort") {
     const auto xs = workloads.random_words(o.n, o.seed);
     if (hmm_model) {
-      const auto r = alg::sort_hmm(*xs, o.d, pd, o.w, o.l, observer);
+      const auto r = alg::sort_hmm(*xs, o.d, pd, o.w, o.l, observer, o.fast_forward);
       finish(r.report, "min = " + std::to_string(r.sorted.front()) +
                            ", max = " + std::to_string(r.sorted.back()));
     } else {
-      const auto r = alg::sort_umm(*xs, o.p, o.w, o.l, observer);
+      const auto r = alg::sort_umm(*xs, o.p, o.w, o.l, observer, o.fast_forward);
       finish(r.report, "min = " + std::to_string(r.sorted.front()) +
                            ", max = " + std::to_string(r.sorted.back()));
     }
@@ -392,10 +415,11 @@ Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
     if (hmm_model) {
       const std::int64_t tile = std::min<std::int64_t>(o.n, o.w);
       const auto r = alg::matmul_hmm_tiled(*a, *b, o.n, o.d, pd, o.w, o.l, tile,
-                                           observer);
+                                           observer, o.fast_forward);
       finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
     } else {
-      const auto r = alg::matmul_umm(*a, *b, o.n, o.p, o.w, o.l, observer);
+      const auto r = alg::matmul_umm(*a, *b, o.n, o.p, o.w, o.l, observer,
+                                     o.fast_forward);
       finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
     }
   } else if (o.algorithm == "match") {
@@ -403,13 +427,14 @@ Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
     const auto txt = workloads.random_words(o.n, o.seed + 1, 0, 3);
     if (hmm_model) {
       const auto r = alg::string_match_hmm(*pat, *txt, o.d, pd, o.w, o.l,
-                                           observer);
+                                           observer, o.fast_forward);
       finish(r.report,
              "min distance = " +
                  std::to_string(*std::min_element(r.distance.begin(),
                                                   r.distance.end())));
     } else {
-      const auto r = alg::string_match_umm(*pat, *txt, o.p, o.w, o.l, observer);
+      const auto r = alg::string_match_umm(*pat, *txt, o.p, o.w, o.l, observer,
+                                           o.fast_forward);
       finish(r.report,
              "min distance = " +
                  std::to_string(*std::min_element(r.distance.begin(),
@@ -471,6 +496,10 @@ int run_checked(const Options& o, const Cli& cli) {
 
   const auto xs = workloads.random_words(o.n, o.seed);
   machine.global_memory().load(0, *xs);
+  // The checker attaches as an observer, so the replay shortcut disables
+  // itself for the run; this switch still governs the profile cache and
+  // keeps --fast-forward=off runs honestly cache-free.
+  machine.set_fast_forward(o.fast_forward);
 
   analysis::AccessChecker checker(machine, cfg);
   checker.declare_initialized(MemorySpace::kGlobal, 0, o.n);
@@ -581,7 +610,7 @@ void print_csv_row(const Options& opt, const Outcome& out, bool metrics,
                          opt.p,         opt.w,     opt.l, opt.d};
   const MetricsSnapshot snapshot =
       metrics ? out.metrics.value_or(MetricsSnapshot{}) : MetricsSnapshot{};
-  const SweepMeasurement measured{out.time, out.global_stages,
+  const SweepMeasurement measured{out.time, out.global_stages, out.ff_rounds,
                                   metrics ? &snapshot : nullptr};
   std::printf("%s\n", sweep_csv_row(point, measured, tag).c_str());
 }
@@ -700,9 +729,11 @@ int main(int argc, char** argv) {
             static_cast<long long>(opt.p), static_cast<long long>(opt.w),
             static_cast<long long>(opt.l), static_cast<long long>(opt.d));
         std::printf("  %s\n", out.summary.c_str());
-        std::printf("  time: %lld time units, global pipeline stages: %lld\n",
+        std::printf("  time: %lld time units, global pipeline stages: %lld"
+                    ", fast-forwarded rounds: %lld\n",
                     static_cast<long long>(out.time),
-                    static_cast<long long>(out.global_stages));
+                    static_cast<long long>(out.global_stages),
+                    static_cast<long long>(out.ff_rounds));
       }
       if (!cli.trace_path.empty()) write_trace_file(cli.trace_path, sink);
       if (cli.metrics && !opt.csv) print_metrics(*out.metrics, cli.metrics_csv);
