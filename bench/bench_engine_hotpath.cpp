@@ -24,7 +24,12 @@
 //      evaluated serially (jobs=1) and across a thread pool (jobs=J,
 //      default 8); reports wall seconds and the speedup;
 //   6. determinism — asserts the serial and parallel sweeps produced
-//      identical reports (exits nonzero otherwise).
+//      identical reports (exits nonzero otherwise);
+//   7. static analysis — proving the 512-DMM convolution's conflict
+//      bounds symbolically (build_access_plan + evaluate, no machine)
+//      vs measuring them dynamically (the real kernel under an
+//      AccessChecker); both sides must agree on the max conflict
+//      degree, and the static path must be at least 10x cheaper.
 //
 // --smoke shrinks everything to a grid that finishes in well under a
 // second; ctest runs it under the `bench-smoke` label.
@@ -37,9 +42,11 @@
 #include <vector>
 
 #include "alg/convolution.hpp"
+#include "alg/plans.hpp"
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
 #include "analysis/checker.hpp"
+#include "analysis/static/evaluate.hpp"
 #include "core/version.hpp"
 #include "run/sweep.hpp"
 #include "telemetry/metrics.hpp"
@@ -406,6 +413,86 @@ SweepResult measure_sweep(std::int64_t grid_points, std::int64_t n,
   return r;
 }
 
+struct StaticAnalysisResult {
+  std::int64_t d = 0, m = 0, n = 0;
+  double static_seconds = 0.0;      // build_access_plan + evaluate
+  double dynamic_seconds = 0.0;     // real kernel under an AccessChecker
+  double best_static_seconds = 0.0;
+  double best_dynamic_seconds = 0.0;
+  double speedup = 0.0;             // best_dynamic / best_static
+  std::int64_t static_degree_max = 0;
+  std::int64_t dynamic_degree_max = 0;
+  bool degrees_agree = false;
+};
+
+/// The analyzer's headline trade: the many-DMM Theorem-9 convolution's
+/// conflict bounds proven symbolically (no machine, no warps — just the
+/// plan twin and the gcd closed forms) vs measured dynamically (the
+/// full engine with an AccessChecker pricing every dispatch).  Both
+/// sides answer the same question — max shared-memory conflict degree —
+/// and must agree; the point of the section is the cost gap.
+StaticAnalysisResult measure_static_analysis(std::int64_t d, std::int64_t m,
+                                             std::int64_t n,
+                                             std::int64_t reps) {
+  StaticAnalysisResult r;
+  r.d = d;
+  r.m = m;
+  r.n = n;
+
+  alg::PlanPoint point;
+  point.algorithm = "conv";
+  point.model = "hmm";
+  point.n = n;
+  point.m = m;
+  point.p = d * 16;  // one 16-thread warp set per DMM, as in fast-forward
+  point.w = 16;
+  point.l = 400;
+  point.d = d;
+
+  const auto run_static = [&] {
+    const auto plan = alg::build_access_plan(point);
+    if (!plan) {
+      std::fprintf(stderr, "FATAL: conv/hmm lost its registered plan\n");
+      std::exit(1);
+    }
+    return analysis::evaluate(*plan);
+  };
+  const auto run_dynamic = [&] {
+    // The default config — race + bounds + conflict — is exactly what
+    // `hmmsim --check` switches on, so this is the bill the analyzer is
+    // competing against.
+    analysis::AccessChecker checker{analysis::CheckerConfig{}};
+    alg::run_plan_workload(point, &checker);
+    return checker.shared_histogram().max_degree;
+  };
+
+  const analysis::StaticReport warm_static = run_static();  // warm-up
+  r.static_degree_max = warm_static.max_degree;
+  r.dynamic_degree_max = run_dynamic();
+  r.degrees_agree = r.static_degree_max == r.dynamic_degree_max;
+
+  double stat_total = 0.0, dyn_total = 0.0, best_stat = 0.0, best_dyn = 0.0;
+  for (std::int64_t i = 0; i < reps; ++i) {
+    const auto t_stat = Clock::now();
+    run_static();
+    const double dt_stat = seconds_since(t_stat);
+    stat_total += dt_stat;
+    if (i == 0 || dt_stat < best_stat) best_stat = dt_stat;
+
+    const auto t_dyn = Clock::now();
+    run_dynamic();
+    const double dt_dyn = seconds_since(t_dyn);
+    dyn_total += dt_dyn;
+    if (i == 0 || dt_dyn < best_dyn) best_dyn = dt_dyn;
+  }
+  r.static_seconds = stat_total / static_cast<double>(reps);
+  r.dynamic_seconds = dyn_total / static_cast<double>(reps);
+  r.best_static_seconds = best_stat;
+  r.best_dynamic_seconds = best_dyn;
+  r.speedup = r.best_dynamic_seconds / r.best_static_seconds;
+  return r;
+}
+
 int run_bench(int argc, char** argv) {
   bool smoke = false;
   std::int64_t jobs = 8;
@@ -505,6 +592,19 @@ int run_bench(int argc, char** argv) {
       static_cast<long long>(sweep.parallel_jobs), sweep.parallel_seconds,
       sweep.speedup, sweep.deterministic ? "yes" : "NO");
 
+  // Same convolution family as the fast-forward section: 512 DMMs full,
+  // 64 smoke.
+  const StaticAnalysisResult stat = measure_static_analysis(
+      ff_d, ff_m, smoke ? (1 << 12) : (1 << 16), smoke ? 3 : reps);
+  std::printf(
+      "static     : plan %.3f ms, dynamic --check %.3f ms, static %.1fx "
+      "cheaper (best-of-reps, d=%lld, degree %lld vs %lld %s)\n",
+      1e3 * stat.static_seconds, 1e3 * stat.dynamic_seconds, stat.speedup,
+      static_cast<long long>(stat.d),
+      static_cast<long long>(stat.static_degree_max),
+      static_cast<long long>(stat.dynamic_degree_max),
+      stat.degrees_agree ? "agree" : "DISAGREE");
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -574,6 +674,18 @@ int run_bench(int argc, char** argv) {
       "    \"parallel_seconds\": %.6g,\n"
       "    \"speedup\": %.6g,\n"
       "    \"deterministic\": %s\n"
+      "  },\n"
+      "  \"static_analysis\": {\n"
+      "    \"workload\": \"hmm_convolution\",\n"
+      "    \"d\": %lld, \"m\": %lld, \"n\": %lld,\n"
+      "    \"static_seconds\": %.6g,\n"
+      "    \"dynamic_seconds\": %.6g,\n"
+      "    \"best_static_seconds\": %.6g,\n"
+      "    \"best_dynamic_seconds\": %.6g,\n"
+      "    \"static_degree_max\": %lld,\n"
+      "    \"dynamic_degree_max\": %lld,\n"
+      "    \"degrees_agree\": %s,\n"
+      "    \"speedup\": %.6g\n"
       "  }\n"
       "}\n",
       kVersionString, smoke ? "true" : "false", hw,
@@ -604,7 +716,14 @@ int run_bench(int argc, char** argv) {
       static_cast<long long>(ff.replayed_rounds), ff.speedup,
       static_cast<long long>(sweep.grid_points), sweep.serial_seconds,
       static_cast<long long>(sweep.parallel_jobs), sweep.parallel_seconds,
-      sweep.speedup, sweep.deterministic ? "true" : "false");
+      sweep.speedup, sweep.deterministic ? "true" : "false",
+      static_cast<long long>(stat.d), static_cast<long long>(stat.m),
+      static_cast<long long>(stat.n),
+      stat.static_seconds, stat.dynamic_seconds,
+      stat.best_static_seconds, stat.best_dynamic_seconds,
+      static_cast<long long>(stat.static_degree_max),
+      static_cast<long long>(stat.dynamic_degree_max),
+      stat.degrees_agree ? "true" : "false", stat.speedup);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -663,6 +782,30 @@ int run_bench(int argc, char** argv) {
                  "FATAL: fast-forward convolution speedup is %.2fx "
                  "(limit %.2fx) — the replay path regressed\n",
                  ff.speedup, ff_limit);
+    return 1;
+  }
+  // Static-analysis guards: the symbolic verdict must agree with the
+  // measured one (correctness), and proving the bound must stay at
+  // least an order of magnitude cheaper than measuring it (the whole
+  // reason --analyze exists).  The 10x floor is the headline 512-DMM
+  // claim; the smoke convolution is too small to amortize the symbolic
+  // recording pass against the engine's lighter per-op bill, so smoke
+  // only guards against the gap collapsing outright.
+  if (!stat.degrees_agree) {
+    std::fprintf(stderr,
+                 "FATAL: static conflict degree %lld disagrees with the "
+                 "dynamic checker's %lld on the convolution\n",
+                 static_cast<long long>(stat.static_degree_max),
+                 static_cast<long long>(stat.dynamic_degree_max));
+    return 1;
+  }
+  const double stat_limit = smoke ? 5.0 : 10.0;
+  if (stat.speedup < stat_limit) {
+    std::fprintf(stderr,
+                 "FATAL: static analysis is only %.2fx cheaper than the "
+                 "dynamic checked run (limit %.0fx) — the analyzer stopped "
+                 "paying for itself\n",
+                 stat.speedup, stat_limit);
     return 1;
   }
   return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alg/device.hpp"
+#include "alg/plans.hpp"
 #include "core/error.hpp"
 #include "core/mathutil.hpp"
 
@@ -292,6 +293,72 @@ MachineConv convolution_hmm(std::span<const Word> a, std::span<const Word> x,
   machine.global_memory().load(0, a);
   machine.global_memory().load(m, x);
   return convolution_hmm(machine, m, n);
+}
+
+// ---- plan twins (plans.hpp) -------------------------------------------------
+
+std::optional<analysis::AccessPlan> build_conv_plan(const PlanPoint& point) {
+  const std::int64_t m = point.m;
+  const std::int64_t n = point.n;
+  HMM_REQUIRE(m >= 1 && n >= 1, "conv plan: m, n must be >= 1");
+  const std::int64_t x_len = conv_signal_length(m, n);
+
+  if (point.model == "umm") {
+    // convolution_umm layout: a, x, z, scratch.
+    const Address ax = 0, xx = m, zx = m + x_len, sx = zx + n;
+    HMM_REQUIRE(point.p <= n || point.p % n == 0,
+                "conv plan: p > n requires n | p");
+    auto plan = analysis::build_access_plan(
+        "conv/umm", {point.w, 1, point.p}, [&](analysis::PlanCtx& c) {
+          c.set_label("convolve");
+          plan_device_convolution(c, MemorySpace::kGlobal, ax, m, xx, n, zx,
+                                  sx, c.thread_id(), point.p,
+                                  BarrierScope::kMachine);
+        });
+    plan.claimed_groups = 2;
+    return plan;
+  }
+  if (point.model != "hmm") return std::nullopt;
+
+  const std::int64_t d = point.d;
+  HMM_REQUIRE(d >= 1 && n % d == 0, "conv plan: n must be a multiple of d");
+  HMM_REQUIRE(point.p % d == 0, "conv plan: d must divide p");
+  const std::int64_t slice = n / d;
+  const std::int64_t pd = point.p / d;
+  HMM_REQUIRE(m <= slice, "conv plan: Corollary 10 regime requires m <= n/d");
+  HMM_REQUIRE(pd <= slice || pd % slice == 0,
+              "conv plan: p/d > n/d requires (n/d) | (p/d)");
+  const std::int64_t slice_x = slice + m - 1;
+  const Address g_a = 0, g_x = m, g_z = m + x_len;
+  const Address s_a = 0, s_x = m, s_z = m + slice_x, s_scratch = s_z + slice;
+
+  auto plan = analysis::build_access_plan(
+      "conv/hmm", {point.w, d, pd}, [&](analysis::PlanCtx& c) {
+        const std::int64_t self = c.local_thread_id();
+        const Address i0 = c.dmm_id() * slice;
+
+        c.set_label("stage-in");
+        plan_device_copy(c, MemorySpace::kShared, s_a, MemorySpace::kGlobal,
+                         g_a, m, self, pd);
+        plan_device_copy(c, MemorySpace::kShared, s_x, MemorySpace::kGlobal,
+                         g_x + i0, slice_x, self, pd);
+        c.barrier(BarrierScope::kDmm);
+
+        c.set_label("convolve");
+        plan_device_convolution(c, MemorySpace::kShared, s_a, m, s_x, slice,
+                                s_z, s_scratch, self, pd, BarrierScope::kDmm);
+        c.barrier(BarrierScope::kDmm);
+
+        c.set_label("stage-out");
+        plan_device_copy(c, MemorySpace::kGlobal, g_z + i0,
+                         MemorySpace::kShared, s_z, slice, self, pd);
+      });
+  plan.claimed_degree = 1;
+  // The z region starts at m + (n + m - 1): one cell short of a group
+  // boundary whenever w | 2m, so the write-back batches straddle two
+  // groups.  That is the §IX layout, not an accident — claim 2.
+  plan.claimed_groups = 2;
+  return plan;
 }
 
 }  // namespace hmm::alg

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "alg/plans.hpp"
 #include "core/error.hpp"
 #include "core/mathutil.hpp"
 
@@ -148,6 +149,105 @@ SubTask device_convolution(ThreadCtx& t, MemorySpace space, Address a,
         (self == kNoWorker || self >= n) ? kNoWorker : self;
     co_await device_copy(t, space, z, space, scratch, n, copy_self,
                          std::min(workers, n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic twins (plans.hpp): the same control flow as the subroutines
+// above, recording operations into a PlanCtx instead of executing them.
+// Any edit to a subroutine must be mirrored here — the differential
+// harness (analysis/static/diff.hpp) fails loudly when they drift.
+// ---------------------------------------------------------------------------
+
+void plan_device_copy(analysis::PlanCtx& c, MemorySpace dst_space,
+                      Address dst, MemorySpace src_space, Address src,
+                      std::int64_t n, std::int64_t self, std::int64_t workers) {
+  if (self == kNoWorker) return;
+  for (Address i = self; i < n; i += workers) {
+    c.read(src_space, src + i);
+    c.write(dst_space, dst + i);
+  }
+}
+
+void plan_device_tree_sum(analysis::PlanCtx& c, MemorySpace space,
+                          Address base, std::int64_t n, std::int64_t self,
+                          std::int64_t workers, BarrierScope scope) {
+  std::int64_t s = n;
+  while (s > 1) {
+    c.barrier(scope);
+    const std::int64_t half = ceil_div(s, 2);
+    const std::int64_t folds = s - half;
+    if (self != kNoWorker) {
+      for (Address i = self; i < folds; i += workers) {
+        c.read(space, base + half + i);
+        c.read(space, base + i);
+        c.compute();
+        c.write(space, base + i);
+      }
+    }
+    s = half;
+  }
+  c.barrier(scope);
+}
+
+void plan_device_convolution(analysis::PlanCtx& c, MemorySpace space,
+                             Address a, std::int64_t m, Address x,
+                             std::int64_t n, Address z, Address scratch,
+                             std::int64_t self, std::int64_t workers,
+                             BarrierScope scope) {
+  const bool teams = workers > n;
+  HMM_REQUIRE(!teams || workers % n == 0,
+              "convolution plan: workers > n requires workers to be a "
+              "multiple of n");
+  const std::int64_t k = teams ? workers / n : 1;
+  const std::int64_t chunk = ceil_div(m, k);
+
+  if (!teams) {
+    if (self != kNoWorker) {
+      for (Address i = self; i < n; i += workers) {
+        for (std::int64_t j = 0; j < m; ++j) {
+          c.read(space, a + j);
+          c.read(space, x + i + j);
+          c.compute();
+        }
+        c.write(space, z + i);
+      }
+    }
+  } else {
+    if (self != kNoWorker) {
+      const std::int64_t b = self / n;
+      const Address i = self % n;
+      const std::int64_t j_begin = b * chunk;
+      const std::int64_t j_end = std::min(m, (b + 1) * chunk);
+      for (std::int64_t j = j_begin; j < j_end; ++j) {
+        c.read(space, a + j);
+        c.read(space, x + i + j);
+        c.compute();
+      }
+      c.write(space, scratch + b * n + i);
+    }
+    c.barrier(scope);
+
+    std::int64_t rows = k;
+    while (rows > 1) {
+      const std::int64_t half = ceil_div(rows, 2);
+      const std::int64_t fold_cells = (rows - half) * n;
+      if (self != kNoWorker) {
+        for (Address cell = self; cell < fold_cells; cell += workers) {
+          c.read(space, scratch + half * n + cell);
+          c.read(space, scratch + cell);
+          c.compute();
+          c.write(space, scratch + cell);
+        }
+      }
+      c.barrier(scope);
+      rows = half;
+    }
+
+    const std::int64_t copy_self =
+        (self == kNoWorker || self >= n) ? kNoWorker : self;
+    plan_device_copy(c, space, z, space, scratch, n, copy_self,
+                     std::min(workers, n));
   }
 }
 

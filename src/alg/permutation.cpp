@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "alg/plans.hpp"
 #include "core/bipartite.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
@@ -162,6 +163,36 @@ std::vector<std::int64_t> random_permutation(std::int64_t n,
     std::swap(perm[i - 1], perm[rng.next_below(i)]);
   }
   return perm;
+}
+
+// ---- plan twins (plans.hpp) -------------------------------------------------
+
+std::optional<analysis::AccessPlan> build_permute_plan(const PlanPoint& point) {
+  if (point.model != "dmm") return std::nullopt;
+  const std::int64_t n = point.n;
+  HMM_REQUIRE(n >= 1 && point.w >= 1 && n % point.w == 0,
+              "permute plan: width must divide n");
+  // The schedule IS the permutation-table part of the plan: its rounds
+  // become explicit table terms, so a data-dependent access pattern is
+  // still priced exactly.  Same seed as the dynamic runner.
+  const std::vector<std::int64_t> perm = random_permutation(n, point.seed);
+  const PermutationSchedule schedule(perm, point.w);
+  const std::int64_t warps = std::max<std::int64_t>(
+      1, std::min<std::int64_t>(schedule.rounds(), point.l));
+  auto plan = analysis::build_access_plan(
+      "permute/dmm", {point.w, 1, warps * point.w},
+      [&](analysis::PlanCtx& c) {
+        const std::int64_t lane = c.lane();
+        const std::int64_t nwarps = c.num_threads() / c.width();
+        c.set_label("matchings");
+        for (std::int64_t r = c.warp_id(); r < schedule.rounds();
+             r += nwarps) {
+          c.read(MemorySpace::kShared, schedule.element(r, lane));
+          c.write(MemorySpace::kShared, n + schedule.destination(r, lane));
+        }
+      });
+  plan.claimed_degree = 1;
+  return plan;
 }
 
 }  // namespace hmm::alg

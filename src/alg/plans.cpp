@@ -1,0 +1,115 @@
+#include "alg/plans.hpp"
+
+#include <algorithm>
+
+#include "alg/convolution.hpp"
+#include "alg/permutation.hpp"
+#include "alg/prefix_sums.hpp"
+#include "alg/sort.hpp"
+#include "alg/stencil.hpp"
+#include "alg/sum.hpp"
+#include "alg/transpose.hpp"
+#include "core/error.hpp"
+
+namespace hmm::alg {
+
+namespace {
+
+/// Deterministic input words.  Values never influence the access pattern
+/// of any plan-registered kernel (the permutation is derived from the
+/// seed, not from these), so any fixed fill works — but the dynamic side
+/// still computes real results with them.
+std::vector<Word> plan_input(std::int64_t n) {
+  std::vector<Word> v(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<Word>((i * 2654435761ULL) % 1009);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> registered_plans() {
+  return {
+      {"sum", "umm"},       {"sum", "hmm"},
+      {"scan", "umm"},      {"scan", "hmm"},
+      {"conv", "umm"},      {"conv", "hmm"},
+      {"sort", "umm"},      {"sort", "hmm"},
+      {"stencil", "umm"},   {"transpose", "dmm"},
+      {"transpose-naive", "dmm"},           {"permute", "dmm"},
+  };
+}
+
+std::optional<analysis::AccessPlan> build_access_plan(const PlanPoint& point) {
+  if (point.algorithm == "sum") return build_sum_plan(point);
+  if (point.algorithm == "scan") return build_scan_plan(point);
+  if (point.algorithm == "conv") return build_conv_plan(point);
+  if (point.algorithm == "sort") return build_sort_plan(point);
+  if (point.algorithm == "stencil") return build_stencil_plan(point);
+  if (point.algorithm == "transpose") {
+    return build_transpose_plan(point, /*skewed=*/true);
+  }
+  if (point.algorithm == "transpose-naive") {
+    return build_transpose_plan(point, /*skewed=*/false);
+  }
+  if (point.algorithm == "permute") return build_permute_plan(point);
+  return std::nullopt;
+}
+
+RunReport run_plan_workload(const PlanPoint& point, EngineObserver* observer) {
+  const std::int64_t n = point.n, p = point.p, w = point.w, d = point.d;
+  const Cycle l = point.l;
+  const bool hmm = point.model == "hmm";
+  const std::int64_t pd = hmm ? p / std::max<std::int64_t>(d, 1) : p;
+
+  if (point.algorithm == "sum") {
+    const std::vector<Word> input = plan_input(n);
+    return hmm ? sum_hmm(input, d, pd, w, l, observer).report
+               : sum_umm(input, p, w, l, observer).report;
+  }
+  if (point.algorithm == "scan") {
+    const std::vector<Word> input = plan_input(n);
+    return hmm ? prefix_sums_hmm(input, d, pd, w, l, observer).report
+               : prefix_sums_umm(input, p, w, l, observer).report;
+  }
+  if (point.algorithm == "sort") {
+    const std::vector<Word> input = plan_input(n);
+    return hmm ? sort_hmm(input, d, pd, w, l, observer).report
+               : sort_umm(input, p, w, l, observer).report;
+  }
+  if (point.algorithm == "conv") {
+    const std::vector<Word> a = plan_input(point.m);
+    const std::vector<Word> x = plan_input(conv_signal_length(point.m, n));
+    return hmm ? convolution_hmm(a, x, d, pd, w, l, observer).report
+               : convolution_umm(a, x, p, w, l, observer).report;
+  }
+  if (point.algorithm == "stencil") {
+    return stencil_umm(plan_input(n), point.m, p, w, l, observer).report;
+  }
+  if (point.algorithm == "transpose" ||
+      point.algorithm == "transpose-naive") {
+    const bool skewed = point.algorithm == "transpose";
+    const std::int64_t rows = transpose_rows_for(point);
+    const std::vector<Word> matrix = plan_input(rows * rows);
+    Machine machine =
+        Machine::dmm(w, l, p, (skewed ? 3 : 2) * rows * rows);
+    machine.set_observer(observer);
+    machine.shared_memory(0).load(0, matrix);
+    return skewed ? transpose_mm_skewed(machine, rows).report
+                  : transpose_mm_naive(machine, rows).report;
+  }
+  if (point.algorithm == "permute") {
+    const std::vector<std::int64_t> perm = random_permutation(n, point.seed);
+    const PermutationSchedule schedule(perm, w);
+    const std::int64_t warps = std::max<std::int64_t>(
+        1, std::min<std::int64_t>(schedule.rounds(), point.l));
+    Machine machine = Machine::dmm(w, l, warps * w, 2 * n);
+    machine.set_observer(observer);
+    machine.shared_memory(0).load(0, plan_input(n));
+    return permute_mm_offline(machine, schedule).report;
+  }
+  throw PreconditionError("no dynamic runner for algorithm '" +
+                          point.algorithm + "' / model '" + point.model + "'");
+}
+
+}  // namespace hmm::alg

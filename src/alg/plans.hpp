@@ -1,0 +1,86 @@
+// Per-workload symbolic access plans (analysis/static/plan.hpp).
+//
+// Every span driver that registers here ships a PLAN TWIN — the kernel's
+// control flow replayed against a PlanCtx, recording addresses instead
+// of executing them — implemented in the same .cpp as the kernel it
+// mirrors, plus a dynamic runner that executes the REAL kernel under an
+// EngineObserver.  The static analyzer proves conflict-freedom and
+// coalescing bounds from the twin; the differential harness
+// (analysis/static/diff.hpp) replays every verdict against the dynamic
+// AccessChecker to prove twin and kernel agree round-for-round.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/static/plan.hpp"
+#include "machine/observer.hpp"
+#include "machine/report.hpp"
+
+namespace hmm::alg {
+
+/// One fully resolved operating point of a plan-registered workload.
+/// `model` is "hmm"/"umm" for the sweepable algorithms and "dmm" for
+/// the shared-memory-only ones (transpose, permute).
+struct PlanPoint {
+  std::string algorithm;
+  std::string model = "hmm";
+  std::int64_t n = 65536;
+  std::int64_t m = 32;       ///< filter taps (conv) / sweeps (stencil)
+  std::int64_t p = 2048;
+  std::int64_t w = 32;
+  std::int64_t l = 400;
+  std::int64_t d = 4;
+  std::uint64_t seed = 1;    ///< permutation seed (permute)
+};
+
+/// All (algorithm, model) pairs with a registered plan twin.
+std::vector<std::pair<std::string, std::string>> registered_plans();
+
+/// Build the symbolic access plan for `point`; nullopt when no twin is
+/// registered for (algorithm, model).  Shape violations (e.g. a
+/// non-power-of-two sort size) throw the same PreconditionError the
+/// kernel itself would.
+std::optional<analysis::AccessPlan> build_access_plan(const PlanPoint& point);
+
+/// Execute the REAL workload kernel for `point` on a live machine with
+/// `observer` attached — the dynamic side of the differential harness.
+RunReport run_plan_workload(const PlanPoint& point, EngineObserver* observer);
+
+// ---------------------------------------------------------------------------
+// Symbolic twins of the device subroutines (device.cpp) — building
+// blocks for the per-workload twins below.
+// ---------------------------------------------------------------------------
+void plan_device_copy(analysis::PlanCtx& c, MemorySpace dst_space,
+                      Address dst, MemorySpace src_space, Address src,
+                      std::int64_t n, std::int64_t self, std::int64_t workers);
+void plan_device_tree_sum(analysis::PlanCtx& c, MemorySpace space,
+                          Address base, std::int64_t n, std::int64_t self,
+                          std::int64_t workers, BarrierScope scope);
+void plan_device_convolution(analysis::PlanCtx& c, MemorySpace space,
+                             Address a, std::int64_t m, Address x,
+                             std::int64_t n, Address z, Address scratch,
+                             std::int64_t self, std::int64_t workers,
+                             BarrierScope scope);
+
+// ---------------------------------------------------------------------------
+// Per-workload plan twins, implemented next to their kernels.  Each
+// returns nullopt only for an unregistered model.
+// ---------------------------------------------------------------------------
+std::optional<analysis::AccessPlan> build_sum_plan(const PlanPoint& point);
+std::optional<analysis::AccessPlan> build_scan_plan(const PlanPoint& point);
+std::optional<analysis::AccessPlan> build_conv_plan(const PlanPoint& point);
+std::optional<analysis::AccessPlan> build_sort_plan(const PlanPoint& point);
+std::optional<analysis::AccessPlan> build_transpose_plan(
+    const PlanPoint& point, bool skewed);
+std::optional<analysis::AccessPlan> build_permute_plan(const PlanPoint& point);
+std::optional<analysis::AccessPlan> build_stencil_plan(const PlanPoint& point);
+
+/// Rows of the square matrix a transpose point works on: the largest
+/// multiple of w whose square fits in n cells (so default CLI sizes
+/// stay sane).  Shared by the twin and the dynamic runner.
+std::int64_t transpose_rows_for(const PlanPoint& point);
+
+}  // namespace hmm::alg

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alg/device.hpp"
+#include "alg/plans.hpp"
 #include "core/error.hpp"
 #include "core/mathutil.hpp"
 
@@ -287,6 +288,154 @@ MachineScan prefix_sums_hmm(std::span<const Word> input, std::int64_t num_dmms,
     }
   });
   return {machine.global_memory().dump(0, n), std::move(report)};
+}
+
+// ---- plan twins (plans.hpp) -------------------------------------------------
+
+namespace {
+
+/// Symbolic device_prefix_sums: identical level layout, loop structure
+/// and operation order (including the odd-tail branches).
+void plan_device_prefix_sums(analysis::PlanCtx& c, MemorySpace space,
+                             Address base, std::int64_t n, Address scratch,
+                             std::int64_t self, std::int64_t workers,
+                             BarrierScope scope) {
+  if (n == 1) return;
+  const std::vector<std::int64_t> sizes = level_sizes(n);
+  const auto levels = static_cast<std::int64_t>(sizes.size());
+  std::vector<Address> level_base(static_cast<std::size_t>(levels) + 1);
+  level_base[0] = base;
+  Address cursor = scratch;
+  for (std::int64_t k = 1; k <= levels; ++k) {
+    level_base[static_cast<std::size_t>(k)] = cursor;
+    cursor += sizes[static_cast<std::size_t>(k - 1)];
+  }
+  auto size_of = [&](std::int64_t k) {
+    return k == 0 ? n : sizes[static_cast<std::size_t>(k - 1)];
+  };
+
+  for (std::int64_t k = 0; k < levels; ++k) {
+    c.barrier(scope);
+    const Address src = level_base[static_cast<std::size_t>(k)];
+    const Address dst = level_base[static_cast<std::size_t>(k + 1)];
+    const std::int64_t nk = size_of(k);
+    const std::int64_t nk1 = size_of(k + 1);
+    if (self != kNoWorker) {
+      for (Address i = self; i < nk1; i += workers) {
+        c.read(space, src + 2 * i);
+        if (2 * i + 1 < nk) {
+          c.read(space, src + 2 * i + 1);
+          c.compute();
+        }
+        c.write(space, dst + i);
+      }
+    }
+  }
+
+  for (std::int64_t k = levels - 1; k >= 0; --k) {
+    c.barrier(scope);
+    const Address lk = level_base[static_cast<std::size_t>(k)];
+    const Address ek1 = level_base[static_cast<std::size_t>(k + 1)];
+    const std::int64_t nk = size_of(k);
+    const std::int64_t nk1 = size_of(k + 1);
+    const bool top = k + 1 == levels;
+    const bool leaf = k == 0;
+    if (self != kNoWorker) {
+      for (Address i = self; i < nk1; i += workers) {
+        if (!top) c.read(space, ek1 + i);
+        c.read(space, lk + 2 * i);
+        c.compute();
+        if (2 * i + 1 < nk) {
+          if (leaf) {
+            c.read(space, lk + 2 * i + 1);
+            c.compute();
+          }
+          c.write(space, lk + 2 * i);
+          c.write(space, lk + 2 * i + 1);
+        } else {
+          c.write(space, lk + 2 * i);
+        }
+      }
+    }
+  }
+  c.barrier(scope);
+}
+
+}  // namespace
+
+std::optional<analysis::AccessPlan> build_scan_plan(const PlanPoint& point) {
+  const std::int64_t n = point.n;
+  HMM_REQUIRE(n >= 1, "scan plan: n must be >= 1");
+  if (point.model == "umm") {
+    auto plan = analysis::build_access_plan(
+        "scan/umm", {point.w, 1, point.p}, [&](analysis::PlanCtx& c) {
+          c.set_label("blelloch");
+          plan_device_prefix_sums(c, MemorySpace::kGlobal, 0, n, n,
+                                  c.thread_id(), point.p,
+                                  BarrierScope::kMachine);
+        });
+    plan.claimed_groups = 2;
+    return plan;
+  }
+  if (point.model != "hmm") return std::nullopt;
+
+  const std::int64_t d = point.d;
+  HMM_REQUIRE(d >= 1 && n % d == 0, "scan plan: n must be a multiple of d");
+  HMM_REQUIRE(point.p % d == 0, "scan plan: d must divide p");
+  const std::int64_t slice = n / d;
+  const std::int64_t pd = point.p / d;
+  const Address s_slice = 0;
+  const Address s_scr = slice;
+  const Address s_blocks = s_scr + prefix_sums_scratch_size(slice);
+  auto plan = analysis::build_access_plan(
+      "scan/hmm", {point.w, d, pd}, [&](analysis::PlanCtx& c) {
+        const std::int64_t self = c.local_thread_id();
+        const Address g0 = c.dmm_id() * slice;
+
+        c.set_label("stage-in");
+        plan_device_copy(c, MemorySpace::kShared, s_slice,
+                         MemorySpace::kGlobal, g0, slice, self, pd);
+        c.barrier(BarrierScope::kDmm);
+
+        c.set_label("local-scan");
+        plan_device_prefix_sums(c, MemorySpace::kShared, s_slice, slice,
+                                s_scr, self, pd, BarrierScope::kDmm);
+
+        c.set_label("publish-block-sum");
+        if (self == 0) {
+          c.read(MemorySpace::kShared, s_slice + slice - 1);
+          c.write(MemorySpace::kGlobal, n + c.dmm_id());
+        }
+        c.barrier(BarrierScope::kMachine);
+
+        if (c.dmm_id() == 0) {
+          c.set_label("block-scan");
+          const std::int64_t stagers = std::min(pd, d);
+          plan_device_copy(c, MemorySpace::kShared, s_blocks,
+                           MemorySpace::kGlobal, n, d,
+                           self < stagers ? self : kNoWorker, stagers);
+          c.barrier(BarrierScope::kDmm);
+          plan_device_prefix_sums(c, MemorySpace::kShared, s_blocks, d,
+                                  s_blocks + d, self, pd, BarrierScope::kDmm);
+          plan_device_copy(c, MemorySpace::kGlobal, n, MemorySpace::kShared,
+                           s_blocks, d, self < stagers ? self : kNoWorker,
+                           stagers);
+        }
+        c.barrier(BarrierScope::kMachine);
+
+        c.set_label("carry-and-write-back");
+        if (c.dmm_id() > 0) {
+          c.read(MemorySpace::kGlobal, n + c.dmm_id() - 1);
+        }
+        for (Address i = self; i < slice; i += pd) {
+          c.read(MemorySpace::kShared, s_slice + i);
+          c.compute();
+          c.write(MemorySpace::kGlobal, g0 + i);
+        }
+      });
+  plan.claimed_degree = 2;
+  plan.claimed_groups = 1;
+  return plan;
 }
 
 }  // namespace hmm::alg

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alg/device.hpp"
+#include "alg/plans.hpp"
 #include "core/error.hpp"
 #include "core/mathutil.hpp"
 
@@ -172,6 +173,116 @@ MachineSort sort_hmm(Machine& machine, std::int64_t n) {
     }
   });
   return {machine.global_memory().dump(0, n), std::move(report)};
+}
+
+// ---- plan twins (plans.hpp) -------------------------------------------------
+
+namespace {
+
+/// Symbolic device_bitonic_stage: same pair mapping and operation order;
+/// the direction bit only affects values, never addresses, so global0
+/// and the comparison drop out.
+void plan_bitonic_stage(analysis::PlanCtx& c, MemorySpace space, Address base,
+                        std::int64_t count, std::int64_t k, std::int64_t j,
+                        std::int64_t self, std::int64_t workers) {
+  (void)k;
+  if (self == kNoWorker) return;
+  const std::int64_t pairs = count / 2;
+  for (std::int64_t q = self; q < pairs; q += workers) {
+    const std::int64_t lo = (q / j) * (2 * j) + (q % j);
+    const std::int64_t hi = lo + j;
+    c.read(space, base + lo);
+    c.read(space, base + hi);
+    c.compute();
+    c.write(space, base + lo);
+    c.write(space, base + hi);
+  }
+}
+
+}  // namespace
+
+std::optional<analysis::AccessPlan> build_sort_plan(const PlanPoint& point) {
+  const std::int64_t n = point.n;
+  HMM_REQUIRE(n >= 1 && is_pow2(n),
+              "sort plan: n must be a power of two");
+  if (point.model == "umm") {
+    auto plan = analysis::build_access_plan(
+        "sort/umm", {point.w, 1, point.p}, [&](analysis::PlanCtx& c) {
+          c.set_label("bitonic-stage");
+          for (std::int64_t k = 2; k <= n; k <<= 1) {
+            for (std::int64_t j = k >> 1; j >= 1; j >>= 1) {
+              plan_bitonic_stage(c, MemorySpace::kGlobal, 0, n, k, j,
+                                 c.thread_id(), point.p);
+              c.barrier(BarrierScope::kMachine);
+            }
+          }
+        });
+    plan.claimed_groups = 2;
+    return plan;
+  }
+  if (point.model != "hmm") return std::nullopt;
+
+  const std::int64_t d = point.d;
+  HMM_REQUIRE(d >= 1 && is_pow2(d) && n % d == 0 && is_pow2(n / d),
+              "sort plan: d and n/d must be powers of two");
+  HMM_REQUIRE(point.p % d == 0, "sort plan: d must divide p");
+  const std::int64_t c_blk = n / d;
+  const std::int64_t pd = point.p / d;
+  const std::int64_t p = point.p;
+  auto plan = analysis::build_access_plan(
+      "sort/hmm", {point.w, d, pd}, [&](analysis::PlanCtx& c) {
+        const std::int64_t self = c.local_thread_id();
+        const Address block = c.dmm_id() * c_blk;
+
+        auto local_pass = [&](std::int64_t k, std::int64_t j_hi) {
+          c.set_label("stage-in");
+          plan_device_copy(c, MemorySpace::kShared, 0, MemorySpace::kGlobal,
+                           block, c_blk, self, pd);
+          c.barrier(BarrierScope::kDmm);
+          c.set_label("local-stages");
+          for (std::int64_t j = j_hi; j >= 1; j >>= 1) {
+            plan_bitonic_stage(c, MemorySpace::kShared, 0, c_blk, k, j, self,
+                               pd);
+            c.barrier(BarrierScope::kDmm);
+          }
+          c.set_label("stage-out");
+          plan_device_copy(c, MemorySpace::kGlobal, block,
+                           MemorySpace::kShared, 0, c_blk, self, pd);
+          c.barrier(BarrierScope::kMachine);
+        };
+
+        // Phase A: the full local bitonic sort under one staging.
+        c.set_label("stage-in");
+        plan_device_copy(c, MemorySpace::kShared, 0, MemorySpace::kGlobal,
+                         block, c_blk, self, pd);
+        c.barrier(BarrierScope::kDmm);
+        c.set_label("local-stages");
+        for (std::int64_t k = 2; k <= c_blk; k <<= 1) {
+          for (std::int64_t j = k >> 1; j >= 1; j >>= 1) {
+            plan_bitonic_stage(c, MemorySpace::kShared, 0, c_blk, k, j, self,
+                               pd);
+            c.barrier(BarrierScope::kDmm);
+          }
+        }
+        c.set_label("stage-out");
+        plan_device_copy(c, MemorySpace::kGlobal, block, MemorySpace::kShared,
+                         0, c_blk, self, pd);
+        c.barrier(BarrierScope::kMachine);
+
+        // Phase B: cross-block stages on global, local tails staged.
+        for (std::int64_t k = 2 * c_blk; k <= n; k <<= 1) {
+          c.set_label("cross-stages");
+          for (std::int64_t j = k >> 1; j >= c_blk; j >>= 1) {
+            plan_bitonic_stage(c, MemorySpace::kGlobal, 0, n, k, j,
+                               c.thread_id(), p);
+            c.barrier(BarrierScope::kMachine);
+          }
+          local_pass(k, c_blk >> 1);
+        }
+      });
+  plan.claimed_degree = 2;
+  plan.claimed_groups = 1;
+  return plan;
 }
 
 }  // namespace hmm::alg

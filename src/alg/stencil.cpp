@@ -1,6 +1,7 @@
 #include "alg/stencil.hpp"
 
 #include "alg/device.hpp"
+#include "alg/plans.hpp"
 #include "core/error.hpp"
 
 namespace hmm::alg {
@@ -41,10 +42,13 @@ BaselineStencil stencil_sequential(std::span<const Word> u0,
 
 MachineStencil stencil_umm(std::span<const Word> u0, std::int64_t sweeps,
                            std::int64_t threads, std::int64_t width,
-                           Cycle latency) {
+                           Cycle latency, EngineObserver* observer,
+                           bool fast_forward) {
   check_input(u0, sweeps);
   const auto n = static_cast<std::int64_t>(u0.size());
   Machine machine = Machine::umm(width, latency, threads, 2 * n);
+  machine.set_observer(observer);
+  machine.set_fast_forward(fast_forward);
   machine.global_memory().load(0, u0);
   machine.global_memory().poke(n, u0.front());
   machine.global_memory().poke(2 * n - 1, u0.back());
@@ -146,6 +150,34 @@ MachineStencil stencil_hmm(std::span<const Word> u0, std::int64_t sweeps,
                          fin + 1, c, self, workers);
   });
   return {machine.global_memory().dump(0, n), std::move(report)};
+}
+
+// ---- plan twins (plans.hpp) -------------------------------------------------
+
+std::optional<analysis::AccessPlan> build_stencil_plan(const PlanPoint& point) {
+  if (point.model != "umm") return std::nullopt;
+  const std::int64_t n = point.n;
+  const std::int64_t sweeps = point.m;
+  HMM_REQUIRE(n >= 3 && sweeps >= 0, "stencil plan: n >= 3, sweeps >= 0");
+  const std::int64_t p = point.p;
+  auto plan = analysis::build_access_plan(
+      "stencil/umm", {point.w, 1, p}, [&](analysis::PlanCtx& c) {
+        c.set_label("relax");
+        for (std::int64_t s = 0; s < sweeps; ++s) {
+          const Address cur = (s % 2 == 0) ? 0 : n;
+          const Address nxt = (s % 2 == 0) ? n : 0;
+          for (Address i = 1 + c.thread_id(); i < n - 1; i += p) {
+            c.read(MemorySpace::kGlobal, cur + i - 1);
+            c.read(MemorySpace::kGlobal, cur + i);
+            c.read(MemorySpace::kGlobal, cur + i + 1);
+            c.compute();
+            c.write(MemorySpace::kGlobal, nxt + i);
+          }
+          c.barrier(BarrierScope::kMachine);
+        }
+      });
+  plan.claimed_groups = 2;
+  return plan;
 }
 
 }  // namespace hmm::alg

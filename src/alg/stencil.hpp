@@ -38,7 +38,8 @@ BaselineStencil stencil_sequential(std::span<const Word> u0,
 /// Flat UMM: double-buffered sweeps, one machine barrier per sweep.
 MachineStencil stencil_umm(std::span<const Word> u0, std::int64_t sweeps,
                            std::int64_t threads, std::int64_t width,
-                           Cycle latency);
+                           Cycle latency, EngineObserver* observer = nullptr,
+                           bool fast_forward = true);
 
 /// HMM: each DMM owns an aligned slice; per sweep it refreshes only the
 /// 2 halo cells from global memory, sweeps its slice in shared memory,

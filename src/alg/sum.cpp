@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alg/device.hpp"
+#include "alg/plans.hpp"
 #include "core/error.hpp"
 #include "core/mathutil.hpp"
 
@@ -189,6 +190,66 @@ MachineSum sum_hmm(std::span<const Word> input, std::int64_t num_dmms,
   m.set_fast_forward(fast_forward);
   m.global_memory().load(0, input);
   return sum_hmm(m, n);
+}
+
+// ---- plan twins (plans.hpp) -------------------------------------------------
+
+std::optional<analysis::AccessPlan> build_sum_plan(const PlanPoint& point) {
+  const std::int64_t n = point.n;
+  HMM_REQUIRE(n >= 1, "sum plan: n must be >= 1");
+  if (point.model == "umm") {
+    // sum_umm == sum_mm on the global memory: one Lemma-5 tree.
+    auto plan = analysis::build_access_plan(
+        "sum/umm", {point.w, 1, point.p}, [&](analysis::PlanCtx& c) {
+          c.set_label("tree-fold");
+          plan_device_tree_sum(c, MemorySpace::kGlobal, 0, n, c.thread_id(),
+                               point.p, BarrierScope::kMachine);
+        });
+    plan.claimed_groups = 1;
+    return plan;
+  }
+  if (point.model != "hmm") return std::nullopt;
+
+  // Theorem-7 sum_hmm, phase by phase.
+  HMM_REQUIRE(point.d >= 1 && point.p % point.d == 0,
+              "sum plan: d must divide p");
+  const std::int64_t d = point.d;
+  const std::int64_t pd = point.p / d;
+  const std::int64_t p = point.p;
+  auto plan = analysis::build_access_plan(
+      "sum/hmm", {point.w, d, pd}, [&](analysis::PlanCtx& c) {
+        const std::int64_t self = c.local_thread_id();
+        c.set_label("column-sums");
+        for (Address i = c.thread_id(); i < n; i += p) {
+          c.read(MemorySpace::kGlobal, i);
+          c.compute();
+        }
+        c.set_label("dmm-tree");
+        c.write(MemorySpace::kShared, self);
+        plan_device_tree_sum(c, MemorySpace::kShared, 0, pd, self, pd,
+                             BarrierScope::kDmm);
+        c.set_label("publish-partials");
+        if (self == 0) {
+          c.read(MemorySpace::kShared, 0);
+          c.write(MemorySpace::kGlobal, n + c.dmm_id());
+        }
+        c.barrier(BarrierScope::kMachine);
+        if (c.dmm_id() != 0) return;
+        c.set_label("final-tree");
+        const std::int64_t stagers = std::min(pd, d);
+        plan_device_copy(c, MemorySpace::kShared, 0, MemorySpace::kGlobal, n,
+                         d, self < stagers ? self : kNoWorker, stagers);
+        c.barrier(BarrierScope::kDmm);
+        plan_device_tree_sum(c, MemorySpace::kShared, 0, d, self, pd,
+                             BarrierScope::kDmm);
+        if (self == 0) {
+          c.read(MemorySpace::kShared, 0);
+          c.write(MemorySpace::kGlobal, n);
+        }
+      });
+  plan.claimed_degree = 1;
+  plan.claimed_groups = 1;
+  return plan;
 }
 
 }  // namespace hmm::alg

@@ -1,5 +1,9 @@
 #include "alg/transpose.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "alg/plans.hpp"
 #include "core/error.hpp"
 
 namespace hmm::alg {
@@ -85,6 +89,62 @@ MachineTranspose transpose_dmm_skewed(std::span<const Word> matrix,
   Machine machine = Machine::dmm(width, latency, threads, 3 * rows * rows);
   machine.shared_memory(0).load(0, matrix);
   return transpose_mm_skewed(machine, rows);
+}
+
+// ---- plan twins (plans.hpp) -------------------------------------------------
+
+std::int64_t transpose_rows_for(const PlanPoint& point) {
+  HMM_REQUIRE(point.n >= 1 && point.w >= 1, "transpose plan: n, w must be >= 1");
+  auto rows = static_cast<std::int64_t>(
+      std::sqrt(static_cast<double>(point.n)));
+  while (rows * rows > point.n) --rows;
+  rows -= rows % point.w;
+  return std::max(rows, point.w);
+}
+
+std::optional<analysis::AccessPlan> build_transpose_plan(
+    const PlanPoint& point, bool skewed) {
+  if (point.model != "dmm") return std::nullopt;
+  const std::int64_t rows = transpose_rows_for(point);
+  const std::int64_t cells = rows * rows;
+  const std::int64_t p = point.p;
+  if (skewed) {
+    const Address skew = cells, out = 2 * cells;
+    auto plan = analysis::build_access_plan(
+        "transpose/dmm", {point.w, 1, p}, [&](analysis::PlanCtx& c) {
+          c.set_label("skew-store");
+          for (Address idx = c.thread_id(); idx < cells; idx += p) {
+            const Address i = idx / rows, j = idx % rows;
+            c.read(MemorySpace::kShared, idx);
+            c.write(MemorySpace::kShared, skew + i * rows + (i + j) % rows);
+          }
+          c.barrier();
+          c.set_label("skew-load");
+          for (Address idx = c.thread_id(); idx < cells; idx += p) {
+            const Address j = idx / rows, i = idx % rows;
+            c.read(MemorySpace::kShared, skew + i * rows + (i + j) % rows);
+            c.write(MemorySpace::kShared, out + idx);
+          }
+        });
+    plan.claimed_degree = 1;
+    return plan;
+  }
+  // The naive kernel CLAIMS conflict-freedom — the coalescing-blind
+  // assumption the paper's transpose case study refutes.  The analyzer
+  // computes the true degree (w when w | rows) and rejects the claim:
+  // this is the built-in refutation showcase, priced without a machine.
+  const Address out = cells;
+  auto plan = analysis::build_access_plan(
+      "transpose-naive/dmm", {point.w, 1, p}, [&](analysis::PlanCtx& c) {
+        c.set_label("column-gather");
+        for (Address idx = c.thread_id(); idx < cells; idx += p) {
+          const Address j = idx / rows, i = idx % rows;
+          c.read(MemorySpace::kShared, i * rows + j);
+          c.write(MemorySpace::kShared, out + idx);
+        }
+      });
+  plan.claimed_degree = 1;
+  return plan;
 }
 
 }  // namespace hmm::alg

@@ -94,6 +94,11 @@ AccessChecker::AccessChecker(const Machine& machine, CheckerConfig config)
   dmm_epoch_.assign(static_cast<std::size_t>(num_dmms_), 1);
 }
 
+AccessChecker::AccessChecker(CheckerConfig config) : config_(config) {
+  HMM_REQUIRE(config_.max_findings >= 0,
+              "checker: max_findings must be >= 0");
+}
+
 void AccessChecker::declare_region(MemorySpace space, Address base,
                                    std::int64_t size) {
   const std::int64_t mem =
@@ -210,6 +215,24 @@ void AccessChecker::bump_dmm_epochs() {
 // ---------------------------------------------------------------------------
 
 void AccessChecker::on_run_begin(const Machine& machine) {
+  if (machine_ == nullptr) {
+    // Deferred-binding form: adopt this machine's shape now.
+    machine_ = &machine;
+    width_ = machine.width();
+    num_dmms_ = machine.num_dmms();
+    if (machine.has_shared()) {
+      shared_size_ = machine.shared_memory(0).size();
+      shared_cells_.resize(static_cast<std::size_t>(num_dmms_));
+      for (auto& table : shared_cells_) {
+        table.resize(static_cast<std::size_t>(shared_size_));
+      }
+    }
+    if (machine.has_global()) {
+      global_size_ = machine.global_memory().size();
+      global_cells_.resize(static_cast<std::size_t>(global_size_));
+    }
+    dmm_epoch_.assign(static_cast<std::size_t>(num_dmms_), 1);
+  }
   HMM_REQUIRE(&machine == machine_,
               "checker: attached to a machine it was not built for");
   // A run boundary is a machine-wide synchronisation point.

@@ -107,6 +107,13 @@ class AccessChecker final : public EngineObserver {
  public:
   explicit AccessChecker(const Machine& machine, CheckerConfig config = {});
 
+  /// Deferred binding: adopt the shape of the first machine that begins a
+  /// run while this checker is attached (and stay bound to it).  For
+  /// harnesses observing machines constructed inside algorithm drivers —
+  /// e.g. the static/dynamic differential runner.  Shape declarations
+  /// (declare_region / declare_initialized) require the bound form.
+  explicit AccessChecker(CheckerConfig config = {});
+
   // ---- shape declarations (before the run) ----------------------------
   /// Declare [base, base+size) a legal region of `space`; the first
   /// declaration replaces the default "whole memory" shape.  Shared

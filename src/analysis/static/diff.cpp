@@ -1,0 +1,112 @@
+#include "analysis/static/diff.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace hmm::analysis {
+
+namespace {
+
+std::size_t trimmed_size(const std::vector<std::int64_t>& v) {
+  std::size_t size = v.size();
+  while (size > 0 && v[size - 1] == 0) --size;
+  return size;
+}
+
+/// "shared degree 3: 4 batches statically vs 0 dynamically" for the
+/// first bucket where the two histograms disagree.
+std::string describe(const char* domain, const ConflictHistogram& stat,
+                     const ConflictHistogram& dyn) {
+  const std::size_t buckets =
+      std::max(stat.batches_by_degree.size(), dyn.batches_by_degree.size());
+  for (std::size_t k = 0; k < buckets; ++k) {
+    const std::int64_t s =
+        k < stat.batches_by_degree.size() ? stat.batches_by_degree[k] : 0;
+    const std::int64_t d =
+        k < dyn.batches_by_degree.size() ? dyn.batches_by_degree[k] : 0;
+    if (s != d) {
+      return std::string(domain) + " degree " + std::to_string(k) + ": " +
+             std::to_string(s) + " batches statically vs " +
+             std::to_string(d) + " dynamically";
+    }
+  }
+  return std::string(domain) + ": " + std::to_string(stat.batches) +
+         " batches statically vs " + std::to_string(dyn.batches) +
+         " dynamically";
+}
+
+}  // namespace
+
+bool histograms_equal(const ConflictHistogram& a, const ConflictHistogram& b) {
+  if (a.batches != b.batches || a.max_degree != b.max_degree) return false;
+  const std::size_t size = trimmed_size(a.batches_by_degree);
+  if (size != trimmed_size(b.batches_by_degree)) return false;
+  return std::equal(a.batches_by_degree.begin(),
+                    a.batches_by_degree.begin() + static_cast<std::ptrdiff_t>(size),
+                    b.batches_by_degree.begin());
+}
+
+PlanDiff diff_point(const alg::PlanPoint& point) {
+  PlanDiff out;
+  out.point = point;
+  auto plan = alg::build_access_plan(point);
+  HMM_REQUIRE(plan.has_value(), "diff: no access plan registered for '" +
+                                    point.algorithm + "' / '" + point.model +
+                                    "'");
+  out.plan = std::move(*plan);
+  out.static_report = evaluate(out.plan);
+
+  // Conflict histograms only: race/bounds tracking is orthogonal to the
+  // differential question and would dominate the sweep's runtime.
+  AccessChecker checker(
+      CheckerConfig{.race = false, .bounds = false, .conflict = true});
+  out.dynamic_report = alg::run_plan_workload(point, &checker);
+  out.dynamic_shared = checker.shared_histogram();
+  out.dynamic_global = checker.global_histogram();
+
+  const bool shared_ok =
+      histograms_equal(out.static_report.shared_hist, out.dynamic_shared);
+  const bool global_ok =
+      histograms_equal(out.static_report.global_hist, out.dynamic_global);
+  out.match = shared_ok && global_ok;
+  if (!shared_ok) {
+    out.mismatch = describe("shared", out.static_report.shared_hist,
+                            out.dynamic_shared);
+  } else if (!global_ok) {
+    out.mismatch = describe("global", out.static_report.global_hist,
+                            out.dynamic_global);
+  }
+  return out;
+}
+
+std::vector<alg::PlanPoint> default_diff_grid(const std::string& algorithm,
+                                              const std::string& model) {
+  std::vector<alg::PlanPoint> points;
+  auto add = [&](std::int64_t w, std::int64_t l, std::int64_t d) {
+    alg::PlanPoint pt;
+    pt.algorithm = algorithm;
+    pt.model = model;
+    pt.n = 4096;
+    pt.m = 16;
+    pt.p = 256;
+    pt.w = w;
+    pt.l = l;
+    pt.d = d;
+    pt.seed = 7;
+    points.push_back(pt);
+  };
+  for (const std::int64_t w : {4, 8, 16, 32}) {
+    for (const std::int64_t l : {8, 64, 400}) {
+      add(w, l, 4);
+    }
+  }
+  if (model == "hmm") {
+    for (const std::int64_t d : {1, 2, 8}) add(32, 64, d);
+  }
+  return points;
+}
+
+}  // namespace hmm::analysis

@@ -1,0 +1,48 @@
+// The static/dynamic differential harness: replay every static verdict
+// against the dynamic AccessChecker.
+//
+// For one operating point it (1) builds the workload's symbolic access
+// plan and prices it with the number-theoretic evaluator, (2) runs the
+// REAL kernel on a live machine with an AccessChecker attached, and
+// (3) compares the two ConflictHistograms — shared (DMM bank pricing)
+// and global (UMM group pricing) — batch-count for batch-count.  Any
+// disagreement means the symbolic twin has drifted from its kernel or
+// the evaluator's closed forms are wrong; both are bugs worth failing
+// loudly over (`hmmsim --analyze=diff` maps it to its own exit code).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alg/plans.hpp"
+#include "analysis/checker.hpp"
+#include "analysis/static/evaluate.hpp"
+
+namespace hmm::analysis {
+
+/// Outcome of one differential comparison.
+struct PlanDiff {
+  alg::PlanPoint point;
+  AccessPlan plan;
+  StaticReport static_report;
+  ConflictHistogram dynamic_shared;  ///< AccessChecker, DMM pricing
+  ConflictHistogram dynamic_global;  ///< AccessChecker, UMM pricing
+  RunReport dynamic_report;          ///< measured cycles of the real run
+  bool match = false;
+  std::string mismatch;  ///< first disagreement, human-readable; "" if match
+};
+
+/// Degree-for-degree histogram equality (trailing zero buckets ignored).
+bool histograms_equal(const ConflictHistogram& a, const ConflictHistogram& b);
+
+/// Build the plan, run the real kernel under the checker, compare.
+PlanDiff diff_point(const alg::PlanPoint& point);
+
+/// The default differential grid for one registered workload: a 12-point
+/// w x l sweep (w in {4,8,16,32}, l in {8,64,400}) at d = 4, plus
+/// d in {1,2,8} for the HMM-model workloads — small n so a full sweep
+/// over every registered workload stays ctest-fast.
+std::vector<alg::PlanPoint> default_diff_grid(const std::string& algorithm,
+                                              const std::string& model);
+
+}  // namespace hmm::analysis

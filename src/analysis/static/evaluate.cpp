@@ -1,0 +1,117 @@
+#include "analysis/static/evaluate.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "mm/geometry.hpp"
+
+namespace hmm::analysis {
+
+namespace {
+
+/// Deduplicate a table term's addresses (the engine merges duplicate
+/// addresses into one request before pricing — broadcasts are free).
+std::vector<Address> distinct(const std::vector<Address>& addrs) {
+  std::vector<Address> out = addrs;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void tally(ConflictHistogram& hist, std::int64_t degree, std::int64_t count) {
+  if (static_cast<std::size_t>(degree) >= hist.batches_by_degree.size()) {
+    hist.batches_by_degree.resize(static_cast<std::size_t>(degree) + 1, 0);
+  }
+  hist.batches_by_degree[static_cast<std::size_t>(degree)] += count;
+  hist.batches += count;
+  hist.max_degree = std::max(hist.max_degree, degree);
+}
+
+}  // namespace
+
+std::int64_t term_conflict_degree(const Term& term, std::int64_t width) {
+  HMM_REQUIRE(width >= 1, "term_conflict_degree: width must be >= 1");
+  if (term.kind == Term::Kind::kAffine) {
+    return affine_conflict_degree(term.stride, term.lanes, width);
+  }
+  HMM_REQUIRE(!term.addresses.empty(), "table term with no addresses");
+  const std::vector<Address> addrs = distinct(term.addresses);
+  std::vector<std::int64_t> per_bank(static_cast<std::size_t>(width), 0);
+  std::int64_t worst = 0;
+  for (const Address a : addrs) {
+    HMM_REQUIRE(a >= 0, "addresses are non-negative");
+    worst = std::max(worst, ++per_bank[static_cast<std::size_t>(a % width)]);
+  }
+  return worst;
+}
+
+std::int64_t term_group_count(const Term& term, std::int64_t width) {
+  HMM_REQUIRE(width >= 1, "term_group_count: width must be >= 1");
+  if (term.kind == Term::Kind::kAffine) {
+    return affine_group_count(term.base, term.stride, term.lanes, width);
+  }
+  HMM_REQUIRE(!term.addresses.empty(), "table term with no addresses");
+  std::vector<Address> groups = distinct(term.addresses);
+  for (Address& a : groups) {
+    HMM_REQUIRE(a >= 0, "addresses are non-negative");
+    a /= width;
+  }
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return static_cast<std::int64_t>(groups.size());
+}
+
+StaticReport evaluate(const AccessPlan& plan) {
+  HMM_REQUIRE(plan.width >= 1, "evaluate: plan width must be >= 1");
+  StaticReport report;
+  // One certificate row per (label, space); label-major so the table
+  // reads in program order.
+  const auto nlabels = static_cast<std::int64_t>(plan.labels.size());
+  std::vector<RoundCertificate> rows(static_cast<std::size_t>(2 * nlabels));
+
+  for (const Dispatch& dispatch : plan.dispatches) {
+    const bool shared = dispatch.space == MemorySpace::kShared;
+    const std::int64_t cost =
+        shared ? term_conflict_degree(dispatch.term, plan.width)
+               : term_group_count(dispatch.term, plan.width);
+    // `count` is the dispatch's memoized multiplicity (plan.hpp): the
+    // builder proved every folded-in copy prices identically, so the
+    // one evaluation stands for all of them.
+    tally(shared ? report.shared_hist : report.global_hist, cost,
+          dispatch.count);
+    if (shared) {
+      report.max_degree = std::max(report.max_degree, cost);
+      report.shared_stages += cost * dispatch.count;
+    } else {
+      report.max_groups = std::max(report.max_groups, cost);
+      report.global_stages += cost * dispatch.count;
+    }
+    RoundCertificate& row =
+        rows[static_cast<std::size_t>(2 * dispatch.label + (shared ? 0 : 1))];
+    row.dispatches += dispatch.count;
+    row.max_cost = std::max(row.max_cost, cost);
+    row.total_stages += cost * dispatch.count;
+  }
+
+  for (std::int64_t i = 0; i < nlabels; ++i) {
+    for (int s = 0; s < 2; ++s) {
+      RoundCertificate& row = rows[static_cast<std::size_t>(2 * i + s)];
+      if (row.dispatches == 0) continue;
+      row.label = plan.labels[static_cast<std::size_t>(i)];
+      row.space = s == 0 ? MemorySpace::kShared : MemorySpace::kGlobal;
+      report.rounds.push_back(std::move(row));
+    }
+  }
+  return report;
+}
+
+bool satisfies_claims(const AccessPlan& plan, const StaticReport& report) {
+  if (plan.claimed_degree > 0 && report.max_degree > plan.claimed_degree) {
+    return false;
+  }
+  if (plan.claimed_groups > 0 && report.max_groups > plan.claimed_groups) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hmm::analysis

@@ -1,0 +1,75 @@
+// The number-theoretic evaluator: price every dispatch of an AccessPlan
+// exactly — DMM bank-conflict degree for shared-space dispatches, UMM
+// address-group count for global-space dispatches — without constructing
+// the machine.
+//
+// Affine terms have closed forms (mm/geometry.hpp):
+//   degree(stride, k, w) = 1 if stride == 0 (duplicates merge: broadcast)
+//                          ceil(k*g/w) with g = gcd(stride mod w, w) else
+//   groups(base, stride, k, w) = 1 if stride == 0
+//                                k if |stride| >= w
+//                                span/w + 1 otherwise
+// Table terms are priced by direct counting over the (deduplicated)
+// addresses.  Both match mm/batch_cost.hpp's profile_batch_reference by
+// construction — the property tests in static_analysis_test.cpp pin the
+// equivalence on random inputs.
+//
+// The result carries the same ConflictHistogram type the dynamic
+// AccessChecker produces, so the differential harness can compare the
+// two verdicts round-for-round with plain equality.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/checker.hpp"
+#include "analysis/static/plan.hpp"
+
+namespace hmm::analysis {
+
+/// Exact DMM conflict degree of one term against `width` banks.
+std::int64_t term_conflict_degree(const Term& term, std::int64_t width);
+
+/// Exact UMM address-group count of one term against `width`-cell groups.
+std::int64_t term_group_count(const Term& term, std::int64_t width);
+
+/// One row of the certificate table: all dispatches of one (label,
+/// space) round class, with the worst and total cost over the class.
+struct RoundCertificate {
+  std::string label;
+  MemorySpace space = MemorySpace::kShared;
+  std::int64_t dispatches = 0;
+  std::int64_t max_cost = 0;     ///< degree (shared) / groups (global)
+  std::int64_t total_stages = 0; ///< predicted pipeline stages
+};
+
+/// The static verdict for a whole plan.
+struct StaticReport {
+  /// Same shape as AccessChecker::shared_histogram()/global_histogram():
+  /// batches_by_degree[k] counts dispatches priced at k stages.
+  ConflictHistogram shared_hist;
+  ConflictHistogram global_hist;
+  std::vector<RoundCertificate> rounds;  ///< label-major, spaces split
+  std::int64_t max_degree = 0;   ///< worst shared dispatch
+  std::int64_t max_groups = 0;   ///< worst global dispatch
+  std::int64_t shared_stages = 0;
+  std::int64_t global_stages = 0;
+
+  /// Every shared dispatch within `max_allowed` bank-conflict degree.
+  bool conflict_free(std::int64_t max_allowed = 1) const {
+    return shared_hist.all_within(max_allowed);
+  }
+  /// Every global dispatch within `max_allowed` address groups.
+  bool coalesced(std::int64_t max_allowed = 1) const {
+    return global_hist.all_within(max_allowed);
+  }
+};
+
+/// Price every dispatch of `plan` and aggregate the certificate table.
+StaticReport evaluate(const AccessPlan& plan);
+
+/// Does the computed certificate honor the plan's claimed bounds?  A
+/// claim of 0 means "no claim" for that pricing domain.
+bool satisfies_claims(const AccessPlan& plan, const StaticReport& report);
+
+}  // namespace hmm::analysis

@@ -27,6 +27,17 @@ class InternalError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Thrown by the engine's no-progress watchdog: a round completed with
+/// zero warps resumable and zero requests in flight, i.e. every
+/// unfinished warp is parked at a barrier that can never release
+/// (mismatched barrier calls or scopes).  The message lists the blocked
+/// warps and the state of every barrier domain; `hmmsim` maps it to its
+/// own exit code so silent hangs become actionable failures.
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 [[noreturn]] void throw_precondition(const char* expr, const std::string& msg,

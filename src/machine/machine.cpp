@@ -281,6 +281,7 @@ class Engine {
   void finish_warp(WarpState& w);
   void release_if_complete(BarrierDomain& domain);
   void release(BarrierDomain& domain);
+  void check_no_deadlock() const;
 
   // Fast-forward machinery (definitions near try_replay_round below).
   bool observe_fp(WarpTracker& t, std::uint64_t fp);
@@ -541,11 +542,12 @@ RunReport Engine::run() {
     round(warps_[static_cast<std::size_t>(wid)]);
   }
 
-  for (const WarpState& w : warps_) {
-    HMM_REQUIRE(w.finished,
-                "deadlock: a warp is still blocked at a barrier after all "
-                "runnable warps completed (mismatched barrier calls?)");
-  }
+  // No-progress watchdog: the ready queue drained (zero warps resumable,
+  // zero requests in flight), so any unfinished warp is parked at a
+  // barrier that can never release.  Abort with a diagnostic listing the
+  // blocked warps and every barrier domain's arrival state instead of
+  // returning a report that silently dropped work.
+  check_no_deadlock();
 
   report_.shared_pipelines.reserve(machine_.shared_.size());
   for (const auto& port : machine_.shared_) {
@@ -565,6 +567,50 @@ RunReport Engine::run() {
   }
   if (machine_.observer_) machine_.observer_->on_run_end(report_);
   return std::move(report_);
+}
+
+void Engine::check_no_deadlock() const {
+  std::int64_t blocked = 0;
+  for (const WarpState& w : warps_) blocked += w.finished ? 0 : 1;
+  if (blocked == 0) return;
+
+  std::string msg = "deadlock: no warp is resumable and no request is in "
+                    "flight, but " + std::to_string(blocked) +
+                    " warp(s) never finished (mismatched barrier calls or "
+                    "scopes?)\n  blocked warps:";
+  for (const WarpState& w : warps_) {
+    if (w.finished) continue;
+    msg += "\n    warp " + std::to_string(w.id) + " (dmm " +
+           std::to_string(w.dmm) + ", " + std::to_string(w.live) +
+           " live lane(s)) ";
+    if (w.waiting) {
+      msg += w.uniform_scope == BarrierScope::kMachine
+                 ? "parked at a machine-scope barrier"
+                 : "parked at a DMM-scope barrier";
+    } else {
+      msg += "never reached a barrier release";
+    }
+  }
+  msg += "\n  barrier domains:";
+  const auto describe = [&msg](const BarrierDomain& dom, const std::string&
+                                                             name) {
+    msg += "\n    " + name + ": " +
+           std::to_string(static_cast<std::int64_t>(dom.arrived.size())) +
+           " of " + std::to_string(dom.active) + " active warp(s) arrived";
+    if (!dom.arrived.empty()) {
+      msg += " (warps";
+      for (const WarpId id : dom.arrived) {
+        msg += ' ';
+        msg += std::to_string(id);
+      }
+      msg += ")";
+    }
+  };
+  for (const BarrierDomain& dom : dmm_domains_) {
+    describe(dom, "dmm " + std::to_string(dom.dmm));
+  }
+  describe(machine_domain_, "machine");
+  throw DeadlockError(msg);
 }
 
 /// THE single trace-emission path: every scheduled event is constructed

@@ -7,7 +7,18 @@
 //
 // The same physical array of cells is seen through both lenses; which one
 // determines the access cost is what distinguishes the DMM from the UMM.
+//
+// For AFFINE warp accesses — lane i of k touches base + stride*i — both
+// costs have closed forms (the gcd stride law pinned by stride_cost_test
+// and generalized by analysis/static):
+//   DMM  conflict degree   = ceil(k*g / w) with g = gcd(stride mod w, w)
+//   UMM  group count       = floor((b0 + |stride|*(k-1)) / w) + 1
+// These are exported here so the static analyzer, the tests and the mm
+// pricing layer agree on ONE definition of the bank geometry arithmetic.
 #pragma once
+
+#include <cstdlib>
+#include <numeric>
 
 #include "core/error.hpp"
 #include "core/types.hpp"
@@ -47,5 +58,45 @@ class MemoryGeometry {
  private:
   std::int64_t width_;
 };
+
+/// Exact DMM conflict degree (max per-bank distinct addresses) of the
+/// affine warp access {base + stride*i : 0 <= i < lanes} against `width`
+/// banks, after the engine's duplicate-address merge (a stride of 0 is
+/// one broadcast address: degree 1).  For stride != 0 the addresses are
+/// distinct and hit banks in a cycle of length width/g, g = gcd(stride
+/// mod width, width), so the hottest bank holds ceil(lanes*g/width)
+/// addresses; stride ≡ 0 (mod width) degenerates to one bank (g = w).
+inline std::int64_t affine_conflict_degree(std::int64_t stride,
+                                           std::int64_t lanes,
+                                           std::int64_t width) {
+  HMM_REQUIRE(lanes >= 1 && width >= 1,
+              "affine_conflict_degree: lanes and width must be >= 1");
+  if (stride == 0) return 1;
+  const std::int64_t t = ((stride % width) + width) % width;
+  const std::int64_t g = t == 0 ? width : std::gcd(t, width);
+  return (lanes * g + width - 1) / width;
+}
+
+/// Exact UMM address-group count of the affine warp access
+/// {base + stride*i : 0 <= i < lanes} against groups of `width` cells,
+/// after duplicate merge.  Normalizing a negative stride to its mirror
+/// keeps one formula: |stride| >= width makes every address its own
+/// group; |stride| < width covers every group the span touches.
+inline std::int64_t affine_group_count(Address base, std::int64_t stride,
+                                       std::int64_t lanes,
+                                       std::int64_t width) {
+  HMM_REQUIRE(lanes >= 1 && width >= 1,
+              "affine_group_count: lanes and width must be >= 1");
+  if (stride == 0) return 1;
+  std::int64_t first = base;
+  std::int64_t step = stride;
+  if (step < 0) {
+    first = base + stride * (lanes - 1);
+    step = -step;
+  }
+  HMM_REQUIRE(first >= 0, "affine_group_count: addresses are non-negative");
+  if (step >= width) return lanes;
+  return (first + step * (lanes - 1)) / width - first / width + 1;
+}
 
 }  // namespace hmm

@@ -1,0 +1,64 @@
+#include "report/analysis_static.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace hmm {
+
+namespace {
+
+const char* space_name(MemorySpace space) {
+  return space == MemorySpace::kShared ? "shared" : "global";
+}
+
+std::int64_t bucket(const analysis::ConflictHistogram& h,
+                    std::int64_t degree) {
+  const auto i = static_cast<std::size_t>(degree);
+  return i < h.batches_by_degree.size() ? h.batches_by_degree[i] : 0;
+}
+
+void append_domain(Table& t, const char* domain,
+                   const analysis::ConflictHistogram& stat,
+                   const analysis::ConflictHistogram& dyn) {
+  const std::int64_t top = std::max(stat.max_degree, dyn.max_degree);
+  for (std::int64_t degree = 1; degree <= top; ++degree) {
+    const std::int64_t s = bucket(stat, degree);
+    const std::int64_t d = bucket(dyn, degree);
+    if (s == 0 && d == 0) continue;  // agreeing empty buckets are noise
+    t.add_row({domain, Table::cell(degree), Table::cell(s), Table::cell(d),
+               s == d ? "ok" : "MISMATCH"});
+  }
+  if (top == 0) {
+    t.add_row({domain, "-", Table::cell(std::int64_t{0}),
+               Table::cell(std::int64_t{0}), "ok"});
+  }
+}
+
+}  // namespace
+
+Table certificate_table(const analysis::StaticReport& report) {
+  std::string title = "static access certificate (max degree ";
+  title += std::to_string(report.max_degree) + ", max groups ";
+  title += std::to_string(report.max_groups) + ")";
+  Table t(std::move(title));
+  t.set_header({"round", "space", "dispatches", "max_cost", "stages"});
+  for (const analysis::RoundCertificate& row : report.rounds) {
+    t.add_row({row.label, space_name(row.space), Table::cell(row.dispatches),
+               Table::cell(row.max_cost), Table::cell(row.total_stages)});
+  }
+  return t;
+}
+
+Table static_dynamic_table(const analysis::PlanDiff& diff) {
+  std::string title = "static vs dynamic (batches per degree) — ";
+  title += diff.match ? "MATCH" : ("MISMATCH: " + diff.mismatch);
+  Table t(std::move(title));
+  t.set_header({"domain", "degree", "static", "dynamic", "verdict"});
+  append_domain(t, "shared", diff.static_report.shared_hist,
+                diff.dynamic_shared);
+  append_domain(t, "global", diff.static_report.global_hist,
+                diff.dynamic_global);
+  return t;
+}
+
+}  // namespace hmm

@@ -1,0 +1,23 @@
+// Rendering of the static access analyzer's results (analysis/static):
+// the per-round certificate table `hmmsim --analyze=plan` prints, and
+// the predicted-vs-measured comparison `--analyze=diff` prints after
+// replaying the verdict against the dynamic AccessChecker.
+#pragma once
+
+#include "analysis/static/diff.hpp"
+#include "analysis/static/evaluate.hpp"
+#include "report/table.hpp"
+
+namespace hmm {
+
+/// One row per (round label, memory space) class: dispatch count, worst
+/// per-dispatch cost (bank-conflict degree for shared, address groups
+/// for global) and total predicted pipeline stages.
+Table certificate_table(const analysis::StaticReport& report);
+
+/// Degree-by-degree comparison of the static histograms against the
+/// dynamic AccessChecker's, for both pricing domains, with a verdict
+/// column per row.  Equal tables are the differential harness's "match".
+Table static_dynamic_table(const analysis::PlanDiff& diff);
+
+}  // namespace hmm

@@ -5,7 +5,7 @@
 
 namespace hmm {
 
-std::string sweep_csv_header(bool metrics, bool sharded) {
+std::string sweep_csv_header(bool metrics, bool sharded, bool analyze) {
   std::string header =
       "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds";
   if (metrics) {
@@ -13,6 +13,7 @@ std::string sweep_csv_header(bool metrics, bool sharded) {
         ",conflict_degree_max,address_groups_max,memory_stall,barrier_stall,"
         "latency_hiding";
   }
+  if (analyze) header += ",static_degree_max,static_groups_max,static_verdict";
   if (sharded) header += ",grid_index,shard,fingerprint";
   return header;
 }
@@ -36,6 +37,12 @@ std::string sweep_csv_row(const SweepPoint& point, const SweepMeasurement& m,
                   static_cast<std::int64_t>(s.memory_stall_cycles),
                   static_cast<std::int64_t>(s.barrier_stall_cycles),
                   s.latency_hiding);
+    row += buf;
+  }
+  if (m.analyze != nullptr) {
+    std::snprintf(buf, sizeof buf, ",%" PRId64 ",%" PRId64 ",%s",
+                  m.analyze->degree_max, m.analyze->groups_max,
+                  m.analyze->verdict.c_str());
     row += buf;
   }
   if (tag != nullptr) {

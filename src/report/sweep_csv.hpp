@@ -5,6 +5,7 @@
 // Base columns:    algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds
 // --metrics adds:  conflict_degree_max,address_groups_max,memory_stall,
 //                  barrier_stall,latency_hiding
+// --analyze adds:  static_degree_max,static_groups_max,static_verdict
 // Sharded runs add (always last, so a merge can strip them by count):
 //                  grid_index,shard,fingerprint
 //
@@ -32,6 +33,15 @@ struct SweepPoint {
   std::int64_t d = 0;
 };
 
+/// The static analyzer's verdict for one grid point (`--analyze` sweeps).
+struct SweepStaticVerdict {
+  std::int64_t degree_max = 0;  ///< worst shared dispatch (DMM pricing)
+  std::int64_t groups_max = 0;  ///< worst global dispatch (UMM pricing)
+  /// "ok" (claims hold), "refuted" (certificate exceeds a claim) or
+  /// "none" (no plan twin registered for this algorithm/model).
+  std::string verdict = "none";
+};
+
 /// What one simulated grid point measured.
 struct SweepMeasurement {
   Cycle time = 0;
@@ -45,6 +55,9 @@ struct SweepMeasurement {
   /// Non-null when the run was observed by a MetricsRegistry (--metrics);
   /// adds the five metric columns.  Not owned.
   const MetricsSnapshot* metrics = nullptr;
+  /// Non-null when the sweep carries static verdicts (--analyze); adds
+  /// the three static columns.  Not owned.
+  const SweepStaticVerdict* analyze = nullptr;
 };
 
 /// Shard provenance appended to every row of a `--shard=i/K` run.
@@ -58,11 +71,12 @@ struct ShardTag {
 inline constexpr int kShardColumns = 3;
 
 /// The header line (no trailing newline).
-std::string sweep_csv_header(bool metrics, bool sharded);
+std::string sweep_csv_header(bool metrics, bool sharded, bool analyze = false);
 
 /// One data row (no trailing newline).  Pass `tag == nullptr` for
-/// unsharded rows; `m.metrics == nullptr` omits the metric columns, so
-/// the caller must be consistent with the header it printed.
+/// unsharded rows; `m.metrics == nullptr` / `m.analyze == nullptr` omit
+/// the metric / static columns, so the caller must be consistent with
+/// the header it printed.
 std::string sweep_csv_row(const SweepPoint& point, const SweepMeasurement& m,
                           const ShardTag* tag = nullptr);
 

@@ -117,6 +117,8 @@ std::string GridSpec::canonical() const {
   s += metrics ? '1' : '0';
   s += "|ff=";
   s += fast_forward ? '1' : '0';
+  s += "|analyze=";
+  s += analyze ? '1' : '0';
   return s;
 }
 
@@ -149,6 +151,7 @@ Manifest plan_manifest(const GridSpec& spec, std::int64_t shards,
                   "--seed", std::to_string(spec.seed)};
     if (spec.metrics) entry.argv.push_back("--metrics");
     if (!spec.fast_forward) entry.argv.push_back("--fast-forward=off");
+    if (spec.analyze) entry.argv.push_back("--analyze=plan");
     entry.argv.push_back("--shard=" + std::to_string(i) + "/" +
                          std::to_string(shards));
     manifest.entries.push_back(std::move(entry));
@@ -188,6 +191,8 @@ std::string manifest_json(const Manifest& manifest) {
   out += manifest.grid.metrics ? "true" : "false";
   out += ",\n    \"fast_forward\": ";
   out += manifest.grid.fast_forward ? "true" : "false";
+  out += ",\n    \"analyze\": ";
+  out += manifest.grid.analyze ? "true" : "false";
   out += ",\n    \"axes\": {\n";
   const std::vector<std::int64_t>* axes[] = {
       &manifest.grid.n, &manifest.grid.m, &manifest.grid.p,
@@ -239,6 +244,7 @@ Manifest parse_manifest_json(const std::string& text) {
       static_cast<std::uint64_t>(grid.get("seed").as_int64());
   manifest.grid.metrics = grid.get("metrics").as_bool();
   manifest.grid.fast_forward = grid.get("fast_forward").as_bool();
+  manifest.grid.analyze = grid.get("analyze").as_bool();
   const json::Value& axes = grid.get("axes");
   manifest.grid.n = parse_axis(axes, "n");
   manifest.grid.m = parse_axis(axes, "m");

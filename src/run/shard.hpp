@@ -71,6 +71,8 @@ struct GridSpec {
                               ///< --fast-forward); part of the identity
                               ///< because shards must agree on it even
                               ///< though results are provably equal
+  bool analyze = false;       ///< rows carry the three static-analyzer
+                              ///< columns (hmmsim --analyze sweeps)
 
   /// Total grid points (product of the six axis sizes).
   std::int64_t points() const;

@@ -26,6 +26,7 @@ class ObserverFanout final : public EngineObserver {
   std::int64_t size() const {
     return static_cast<std::int64_t>(children_.size());
   }
+  bool empty() const { return children_.empty(); }
 
   void on_run_begin(const Machine& machine) override {
     for (EngineObserver* c : children_) c->on_run_begin(machine);

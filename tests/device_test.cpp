@@ -78,15 +78,16 @@ TEST(DeviceCopy, MovesDataBetweenSpaces) {
 
 TEST(Barrier, CrossScopeDeadlockIsDiagnosedNotHung) {
   // Warp 0 waits at the DMM barrier while warp 1 waits at the machine
-  // barrier: each domain waits for the other warp forever.  The engine
-  // must diagnose the deadlock instead of spinning or silently finishing.
+  // barrier: each domain waits for the other warp forever.  The engine's
+  // no-progress watchdog must diagnose the deadlock (naming the parked
+  // warps and their domains) instead of spinning or silently finishing.
   Machine m = Machine::dmm(4, 1, 8, 16);  // 2 warps
   EXPECT_THROW(m.run([](ThreadCtx& t) -> SimTask {
                  co_await t.barrier(t.warp_id() == 0
                                         ? BarrierScope::kDmm
                                         : BarrierScope::kMachine);
                }),
-               PreconditionError);
+               DeadlockError);
 }
 
 TEST(Barrier, ExitingWarpSatisfiesWaitersBarrier) {

@@ -129,6 +129,9 @@ TEST(GridSpec, FingerprintIsStableAndSensitive) {
   other.fast_forward = false;
   EXPECT_NE(other.fingerprint(), spec.fingerprint());
   other = spec;
+  other.analyze = true;
+  EXPECT_NE(other.fingerprint(), spec.fingerprint());
+  other = spec;
   other.algorithm = "sort";
   EXPECT_NE(other.fingerprint(), spec.fingerprint());
 }
@@ -250,6 +253,19 @@ TEST(SweepCsv, HeaderVariants) {
             "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds,"
             "conflict_degree_max,address_groups_max,memory_stall,"
             "barrier_stall,latency_hiding,grid_index,shard,fingerprint");
+  EXPECT_EQ(sweep_csv_header(false, true, true),
+            "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds,"
+            "static_degree_max,static_groups_max,static_verdict,"
+            "grid_index,shard,fingerprint");
+}
+
+TEST(SweepCsv, AnalyzeColumnsCarryTheStaticVerdict) {
+  const SweepPoint point{"sort", "hmm", 4096, 32, 2048, 32, 400, 16};
+  const SweepStaticVerdict verdict{2, 1, "ok"};
+  SweepMeasurement measured{2122, 146, 97, nullptr};
+  measured.analyze = &verdict;
+  EXPECT_EQ(sweep_csv_row(point, measured),
+            "sort,hmm,4096,32,2048,32,400,16,2122,146,97,2,1,ok");
 }
 
 TEST(SweepCsv, ShardedRowIsTheBaseRowPlusTag) {

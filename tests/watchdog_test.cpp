@@ -1,0 +1,64 @@
+// Engine no-progress watchdog: a run whose ready queue drains while
+// warps are still parked must abort with DeadlockError and a diagnostic
+// naming the blocked warps and barrier-domain arrival state — never
+// return a report that silently dropped work.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.hpp"
+#include "machine/machine.hpp"
+
+namespace hmm {
+namespace {
+
+TEST(Watchdog, MismatchedBarrierScopesDeadlock) {
+  // Two warps of one DMM parked at barriers of DIFFERENT scopes: the
+  // kDmm domain waits for 2 warps but only one ever arrives, and so
+  // does the machine domain.  Neither can release.
+  Machine machine = Machine::dmm(4, 8, 8, 64);
+  try {
+    machine.run([](ThreadCtx& t) -> SimTask {
+      if (t.thread_id() < 4) {
+        co_await t.barrier(BarrierScope::kDmm);
+      } else {
+        co_await t.barrier(BarrierScope::kMachine);
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("blocked warps"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("barrier domains"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("warp 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("machine"), std::string::npos) << msg;
+  }
+}
+
+TEST(Watchdog, PartialBarrierReleasedByFinishedWarps) {
+  // The complement: a warp that FINISHES (without reaching the barrier)
+  // leaves its domains, so the remaining arrivals complete the barrier.
+  // No deadlock — this is the legal early-exit idiom.
+  Machine machine = Machine::dmm(4, 8, 8, 64);
+  const RunReport report = machine.run([](ThreadCtx& t) -> SimTask {
+    if (t.thread_id() < 4) {
+      co_await t.barrier(BarrierScope::kDmm);
+      co_await t.write(MemorySpace::kShared, t.thread_id(), 1);
+    }
+    co_return;
+  });
+  EXPECT_GT(report.makespan, 0);
+}
+
+TEST(Watchdog, CleanRunsDoNotTrip) {
+  Machine machine = Machine::dmm(4, 8, 8, 64);
+  const RunReport report = machine.run([](ThreadCtx& t) -> SimTask {
+    co_await t.write(MemorySpace::kShared, t.thread_id(), 1);
+    co_await t.barrier(BarrierScope::kDmm);
+    co_await t.read(MemorySpace::kShared, (t.thread_id() + 1) % 8);
+  });
+  EXPECT_GT(report.makespan, 0);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -29,13 +29,17 @@
 
 #include "alg/convolution.hpp"
 #include "alg/matmul.hpp"
+#include "alg/plans.hpp"
 #include "alg/prefix_sums.hpp"
 #include "alg/sort.hpp"
 #include "alg/string_match.hpp"
 #include "alg/sum.hpp"
 #include "alg/workload.hpp"
 #include "analysis/checker.hpp"
+#include "analysis/static/diff.hpp"
+#include "analysis/static/evaluate.hpp"
 #include "core/version.hpp"
+#include "report/analysis_static.hpp"
 #include "report/findings.hpp"
 #include "report/metrics.hpp"
 #include "report/sweep_csv.hpp"
@@ -81,6 +85,9 @@ struct Cli {
   bool fast_forward = true;                 ///< --fast-forward=on|off
   bool check = false;
   analysis::CheckerConfig check_cfg;
+  bool analyze = false;                     ///< --analyze[=plan,diff]
+  bool analyze_plan = false;
+  bool analyze_diff = false;
   std::string trace_path;                   ///< empty: no trace export
   std::int64_t trace_capacity = 1 << 16;    ///< ring sink window (events)
   bool metrics = false;
@@ -96,10 +103,13 @@ struct Cli {
 // it per point (thread-safe; sweep workers only read the buffers).
 alg::WorkloadCache workloads;
 
-// hmmsim --check exit codes (documented in docs/ANALYSIS.md).
+// hmmsim --check / --analyze exit codes (documented in docs/ANALYSIS.md).
 constexpr int kExitRace = 3;
 constexpr int kExitBounds = 4;
 constexpr int kExitConflict = 5;
+constexpr int kExitRefuted = 6;   ///< static certificate exceeds a claim
+constexpr int kExitMismatch = 7;  ///< static and dynamic verdicts disagree
+constexpr int kExitDeadlock = 8;  ///< engine no-progress watchdog tripped
 
 int usage(const char* argv0) {
   std::printf(
@@ -129,6 +139,17 @@ int usage(const char* argv0) {
       "                    codes: 3 race, 4 bounds/uninit, 5 certification\n"
       "                    failure.  Composes with --metrics/--trace: one\n"
       "                    checked run can also emit both.\n"
+      "  --analyze[=MODES] static access-plan analysis.  MODES is a comma\n"
+      "                    list of plan (price the symbolic plan, print the\n"
+      "                    per-round certificate) and diff (also replay the\n"
+      "                    verdict against the dynamic AccessChecker);\n"
+      "                    default: both.  Adds algorithms transpose,\n"
+      "                    transpose-naive, permute (--model dmm) and\n"
+      "                    stencil (--model umm).  Sweeps append the\n"
+      "                    static_degree_max/static_groups_max/\n"
+      "                    static_verdict columns instead of printing\n"
+      "                    tables.  Exit codes: 6 claim refuted, 7\n"
+      "                    static/dynamic mismatch, 8 engine deadlock.\n"
       "  --emit-manifest=FILE  with --shards=K: write a JSON job manifest\n"
       "                    splitting the grid round-robin into K shards\n"
       "                    (one entry per shard with the exact argv to run)\n"
@@ -152,6 +173,23 @@ int usage(const char* argv0) {
       "  %s sum --n 4096,65536 --l 100,400 --jobs 0\n",
       kVersionString, argv0, argv0);
   return 2;
+}
+
+bool parse_analyze_modes(const char* s, Cli& cli) {
+  cli.analyze_plan = cli.analyze_diff = false;
+  std::string token;
+  for (const char* q = s;; ++q) {
+    if (*q == ',' || *q == '\0') {
+      if (token == "plan") cli.analyze_plan = true;
+      else if (token == "diff") cli.analyze_diff = true;
+      else return false;
+      token.clear();
+      if (*q == '\0') break;
+    } else {
+      token.push_back(*q);
+    }
+  }
+  return cli.analyze_plan || cli.analyze_diff;
 }
 
 bool parse_check_kinds(const char* s, analysis::CheckerConfig& cfg) {
@@ -252,6 +290,13 @@ bool parse(int argc, char** argv, Cli& cli) {
         return false;
       }
       cli.sharded = true;
+    } else if (a == "--analyze") {
+      cli.analyze = cli.analyze_plan = cli.analyze_diff = true;
+    } else if (a.rfind("--analyze=", 0) == 0) {
+      cli.analyze = true;
+      if (!parse_analyze_modes(a.c_str() + std::strlen("--analyze="), cli)) {
+        return false;
+      }
     } else if (a == "--check") {
       cli.check = true;
     } else if (a.rfind("--check=", 0) == 0) {
@@ -295,6 +340,12 @@ bool parse(int argc, char** argv, Cli& cli) {
   // to both plan shards and run one.
   if (cli.emit_manifest_path.empty() != (cli.shards == 0)) return false;
   if (!cli.emit_manifest_path.empty() && cli.sharded) return false;
+  // --analyze and --check are distinct drivers with distinct exit-code
+  // vocabularies; composing them would make a nonzero exit ambiguous.
+  if (cli.analyze && cli.check) return false;
+  // "dmm" is an analyze-only model: the shared-memory workloads
+  // (transpose, permute) have no span driver in the sweep vocabulary.
+  if (cli.model == "dmm") return cli.analyze && cli.jobs >= 0;
   return (cli.model == "umm" || cli.model == "hmm") && cli.jobs >= 0;
 }
 
@@ -313,7 +364,37 @@ run::GridSpec grid_spec(const Cli& cli) {
   spec.seed = cli.seed;
   spec.metrics = cli.metrics;
   spec.fast_forward = cli.fast_forward;
+  spec.analyze = cli.analyze;
   return spec;
+}
+
+/// The static analyzer's operating point for one grid point.
+alg::PlanPoint plan_point(const Options& o) {
+  alg::PlanPoint point;
+  point.algorithm = o.algorithm;
+  point.model = o.model;
+  point.n = o.n;
+  point.m = o.m;
+  point.p = o.p;
+  point.w = o.w;
+  point.l = o.l;
+  point.d = o.d;
+  point.seed = o.seed;
+  return point;
+}
+
+/// The three static CSV columns for one sweep point; "none" when the
+/// (algorithm, model) pair has no registered plan twin (matmul, match).
+SweepStaticVerdict static_verdict_for(const Options& o) {
+  SweepStaticVerdict v;
+  const auto plan = alg::build_access_plan(plan_point(o));
+  if (!plan) return v;
+  const analysis::StaticReport report = analysis::evaluate(*plan);
+  v.degree_max = report.max_degree;
+  v.groups_max = report.max_groups;
+  v.verdict =
+      analysis::satisfies_claims(*plan, report) ? "ok" : "refuted";
+  return v;
 }
 
 /// Cartesian grid in row-major (n, m, p, w, l, d) order.
@@ -348,6 +429,7 @@ struct Outcome {
   std::int64_t ff_rounds = 0;  ///< RunReport::fast_forward.replayed_rounds
   std::string summary;
   std::optional<MetricsSnapshot> metrics;  ///< --metrics only
+  std::optional<SweepStaticVerdict> analyze;  ///< --analyze sweeps only
 };
 
 Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
@@ -571,6 +653,80 @@ int run_checked(const Options& o, const Cli& cli) {
   return 0;
 }
 
+/// --analyze driver for a single operating point: build the workload's
+/// symbolic access plan, price it with the number-theoretic evaluator
+/// and print the per-round certificate (plan mode); then replay the
+/// verdict against the dynamic AccessChecker on a real run and compare
+/// histograms batch-for-batch (diff mode).  Exit codes: a static/
+/// dynamic disagreement (a bug in the twin or the evaluator) beats a
+/// refuted claim (a property of the workload) beats success.
+int run_analyze(const Options& o, const Cli& cli) {
+  const alg::PlanPoint point = plan_point(o);
+  const auto plan = alg::build_access_plan(point);
+  if (!plan.has_value()) {
+    std::string known;
+    for (const auto& [a, m] : alg::registered_plans()) {
+      if (!known.empty()) known += ", ";
+      known += a + "/" + m;
+    }
+    throw PreconditionError("--analyze: no access plan registered for '" +
+                            o.algorithm + "' / model '" + o.model +
+                            "'; registered: " + known);
+  }
+  const analysis::StaticReport report = analysis::evaluate(*plan);
+  const bool refuted = !analysis::satisfies_claims(*plan, report);
+
+  std::printf("%s on %s(n=%lld, m=%lld, p=%lld, w=%lld, l=%lld, d=%lld) "
+              "under --analyze\n\n",
+              o.algorithm.c_str(), o.model.c_str(),
+              static_cast<long long>(o.n), static_cast<long long>(o.m),
+              static_cast<long long>(o.p), static_cast<long long>(o.w),
+              static_cast<long long>(o.l), static_cast<long long>(o.d));
+  if (cli.analyze_plan) {
+    print_table(certificate_table(report));
+    std::printf("\n");
+  }
+  if (plan->claimed_degree > 0 || plan->claimed_groups > 0) {
+    std::printf("claims:");
+    if (plan->claimed_degree > 0) {
+      std::printf(" conflict degree <= %lld",
+                  static_cast<long long>(plan->claimed_degree));
+    }
+    if (plan->claimed_groups > 0) {
+      std::printf("%s address groups <= %lld",
+                  plan->claimed_degree > 0 ? "," : "",
+                  static_cast<long long>(plan->claimed_groups));
+    }
+    std::printf(" — %s\n", refuted ? "REFUTED" : "proven");
+  } else {
+    std::printf("claims: none registered\n");
+  }
+
+  bool mismatch = false;
+  if (cli.analyze_diff) {
+    const analysis::PlanDiff diff = analysis::diff_point(point);
+    mismatch = !diff.match;
+    std::printf("\n");
+    print_table(static_dynamic_table(diff));
+    std::printf("\ndynamic run: %lld time units, %lld shared / %lld global "
+                "batches observed\n",
+                static_cast<long long>(diff.dynamic_report.makespan),
+                static_cast<long long>(diff.dynamic_shared.batches),
+                static_cast<long long>(diff.dynamic_global.batches));
+  }
+
+  if (mismatch) return kExitMismatch;
+  if (refuted) return kExitRefuted;
+  std::printf("\nstatically certified: conflict degree <= %lld, address "
+              "groups <= %lld%s\n",
+              static_cast<long long>(std::max<std::int64_t>(
+                  report.max_degree, 1)),
+              static_cast<long long>(std::max<std::int64_t>(
+                  report.max_groups, 1)),
+              cli.analyze_diff ? ", confirmed dynamically" : "");
+  return 0;
+}
+
 /// Export the ring sink's kept window as a Chrome trace and report what
 /// was captured.
 void write_trace_file(const std::string& path,
@@ -610,8 +766,9 @@ void print_csv_row(const Options& opt, const Outcome& out, bool metrics,
                          opt.p,         opt.w,     opt.l, opt.d};
   const MetricsSnapshot snapshot =
       metrics ? out.metrics.value_or(MetricsSnapshot{}) : MetricsSnapshot{};
-  const SweepMeasurement measured{out.time, out.global_stages, out.ff_rounds,
-                                  metrics ? &snapshot : nullptr};
+  SweepMeasurement measured{out.time, out.global_stages, out.ff_rounds,
+                            metrics ? &snapshot : nullptr};
+  if (out.analyze.has_value()) measured.analyze = &*out.analyze;
   std::printf("%s\n", sweep_csv_row(point, measured, tag).c_str());
 }
 
@@ -632,7 +789,8 @@ int main(int argc, char** argv) {
       }
       const run::GridSpec spec = grid_spec(cli);
       const run::Manifest manifest = run::plan_manifest(
-          spec, cli.shards, "hmmsim", sweep_csv_header(cli.metrics, true));
+          spec, cli.shards, "hmmsim",
+          sweep_csv_header(cli.metrics, true, cli.analyze));
       std::ofstream out(cli.emit_manifest_path);
       if (!out) {
         throw PreconditionError("cannot open manifest file: " +
@@ -667,6 +825,22 @@ int main(int argc, char** argv) {
       return run_checked(grid.front(), cli);
     }
 
+    // The dmm model exists only in the analyzer's vocabulary, and its
+    // workloads are single-point (no span driver to sweep).
+    if (cli.model == "dmm" && (grid.size() != 1 || cli.sharded)) {
+      std::fprintf(stderr,
+                   "error: --model dmm analyzes a single operating point, "
+                   "not a sweep\n");
+      return 2;
+    }
+
+    // Single-point --analyze prints the certificate (and diff) tables;
+    // with --csv it instead rides the sweep row format, static columns
+    // included, so scripts get one schema whatever the grid size.
+    if (cli.analyze && grid.size() == 1 && !cli.sharded && !cli.csv) {
+      return run_analyze(grid.front(), cli);
+    }
+
     // Shard mode: run only the owned grid points and emit sharded CSV
     // (header + grid_index,shard,fingerprint columns) for hmm-merge.
     // Always CSV with a header, whatever the grid size: the merge tool
@@ -697,8 +871,10 @@ int main(int argc, char** argv) {
                       } else {
                         out = run_algorithm(opt);
                       }
+                      if (cli.analyze) out.analyze = static_verdict_for(opt);
                     });
-      std::printf("%s\n", sweep_csv_header(cli.metrics, true).c_str());
+      std::printf("%s\n",
+                  sweep_csv_header(cli.metrics, true, cli.analyze).c_str());
       for (std::size_t i = 0; i < own.size(); ++i) {
         const ShardTag tag{own[i], cli.shard.shard, fingerprint};
         print_csv_row(grid[static_cast<std::size_t>(own[i])], outcomes[i],
@@ -715,10 +891,11 @@ int main(int argc, char** argv) {
       telemetry::ObserverFanout fanout;
       if (!cli.trace_path.empty()) fanout.add(&sink);
       if (cli.metrics) fanout.add(&registry);
-      EngineObserver* observer = fanout.size() > 0 ? &fanout : nullptr;
+      EngineObserver* observer = fanout.empty() ? nullptr : &fanout;
 
       Outcome out = run_algorithm(opt, observer);
       if (cli.metrics) out.metrics = registry.snapshot();
+      if (cli.analyze) out.analyze = static_verdict_for(opt);
       if (opt.csv) {
         print_csv_row(opt, out, cli.metrics);
       } else {
@@ -764,14 +941,21 @@ int main(int argc, char** argv) {
                     } else {
                       out = run_algorithm(opt);
                     }
+                    if (cli.analyze) out.analyze = static_verdict_for(opt);
                   });
     if (!cli.csv) {
-      std::printf("%s\n", sweep_csv_header(cli.metrics, false).c_str());
+      std::printf("%s\n",
+                  sweep_csv_header(cli.metrics, false, cli.analyze).c_str());
     }
     for (std::size_t i = 0; i < grid.size(); ++i) {
       print_csv_row(grid[i], outcomes[i], cli.metrics);
     }
     return 0;
+  } catch (const DeadlockError& e) {
+    // The engine's no-progress watchdog: its own exit code, so harnesses
+    // can tell "the kernel hung" from any other failure.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitDeadlock;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
