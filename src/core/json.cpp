@@ -216,6 +216,11 @@ const std::vector<Value>& Value::as_array() const {
   return array_;
 }
 
+const std::map<std::string, Value>& Value::as_object() const {
+  HMM_REQUIRE(kind_ == Kind::kObject, "json: value is not an object");
+  return object_;
+}
+
 const Value& Value::get(const std::string& key) const {
   const Value* v = find(key);
   HMM_REQUIRE(v != nullptr, "json: missing object key \"" + key + "\"");
@@ -272,6 +277,71 @@ Value Value::make_object(std::map<std::string, Value> members) {
 }
 
 Value parse(std::string_view text) { return Parser(text).document(); }
+
+namespace {
+
+void write_value(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      if (v.is_integer()) {
+        out += std::to_string(v.as_int64());
+      } else {
+        const double d = v.as_double();
+        HMM_REQUIRE(std::isfinite(d),
+                    "json: non-finite numbers have no JSON spelling");
+        char buf[32];
+        // 17 significant digits: every finite double round-trips through
+        // from_chars exactly, so to_string/parse is lossless.
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+        out += buf;
+      }
+      break;
+    case Value::Kind::kString:
+      out.push_back('"');
+      out += escape(v.as_string());
+      out.push_back('"');
+      break;
+    case Value::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& item : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        write_value(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Value::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        out += escape(key);
+        out += "\":";
+        write_value(member, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Value& value) {
+  std::string out;
+  write_value(value, out);
+  return out;
+}
 
 std::string escape(std::string_view s) {
   std::string out;

@@ -29,6 +29,9 @@ class Value {
 
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }
+  /// True for numbers parsed/built without a fractional part; as_int64
+  /// succeeds exactly on these.
+  bool is_integer() const { return kind_ == Kind::kNumber && integral_; }
 
   /// Typed accessors; each throws PreconditionError on a kind mismatch
   /// so manifest readers fail loudly instead of reading zeros.
@@ -37,6 +40,7 @@ class Value {
   double as_double() const;
   const std::string& as_string() const;
   const std::vector<Value>& as_array() const;
+  const std::map<std::string, Value>& as_object() const;
 
   /// Object member access: `get` throws when the key is missing,
   /// `find` returns nullptr instead.
@@ -65,6 +69,16 @@ class Value {
 /// Parse one complete JSON document; throws PreconditionError with a
 /// byte offset on any syntax error or trailing input.
 Value parse(std::string_view text);
+
+/// Serialize a Value to one compact line (no insignificant whitespace,
+/// object keys in map order, so equal Values always serialize to equal
+/// bytes).  Integers print exactly; other finite doubles print with 17
+/// significant digits, enough that parse(to_string(v)) reconstructs the
+/// identical double.  Non-finite doubles have no JSON spelling and throw
+/// PreconditionError.  `to_string(parse(s))` is therefore a canonical
+/// form: the service's NDJSON frames are emitted with it and round-trip
+/// through parse() byte-for-byte (tests/service_test.cpp).
+std::string to_string(const Value& value);
 
 /// Escape `s` for embedding between double quotes in a JSON document
 /// (quotes, backslashes and control characters).

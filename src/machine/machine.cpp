@@ -10,6 +10,23 @@
 
 namespace hmm {
 
+namespace {
+// Per-thread default hooks (Machine::set_thread_frame_arena et al.).
+// Plain thread_local pointers: registration and every use happen on the
+// owning thread, so no synchronisation is involved.
+thread_local FrameArena* t_default_arena = nullptr;
+thread_local PatternCache* t_default_cache = nullptr;
+}  // namespace
+
+void Machine::set_thread_frame_arena(FrameArena* arena) {
+  t_default_arena = arena;
+}
+FrameArena* Machine::thread_frame_arena() { return t_default_arena; }
+void Machine::set_thread_pattern_cache(PatternCache* cache) {
+  t_default_cache = cache;
+}
+PatternCache* Machine::thread_pattern_cache() { return t_default_cache; }
+
 // ---------------------------------------------------------------------------
 // Machine construction
 // ---------------------------------------------------------------------------
@@ -511,7 +528,9 @@ RunReport Engine::run() {
   cache_ = nullptr;
   if (machine_.config_.fast_forward) {
     cache_ = machine_.external_cache_ != nullptr ? machine_.external_cache_
-                                                 : &machine_.cache_;
+             : Machine::thread_pattern_cache() != nullptr
+                 ? Machine::thread_pattern_cache()
+                 : &machine_.cache_;
   }
   replay_enabled_ = cache_ != nullptr && machine_.observer_ == nullptr;
   const std::int64_t cache_hits0 = cache_ != nullptr ? cache_->hits() : 0;
@@ -527,7 +546,9 @@ RunReport Engine::run() {
   FrameArena* arena = nullptr;
   if (machine_.config_.use_frame_arena) {
     arena = machine_.external_arena_ != nullptr ? machine_.external_arena_
-                                                : &machine_.arena_;
+            : Machine::thread_frame_arena() != nullptr
+                ? Machine::thread_frame_arena()
+                : &machine_.arena_;
     arena->reset();
   }
   const FrameArena::Scope arena_scope(arena);

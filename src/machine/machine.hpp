@@ -161,6 +161,24 @@ class Machine {
     return external_cache_ != nullptr ? *external_cache_ : cache_;
   }
 
+  // ---- per-thread default hooks ----------------------------------------
+  /// Thread-local fallbacks for the two hooks above: a machine whose
+  /// set_frame_arena / set_pattern_cache was never called adopts the
+  /// CALLING thread's default (when one is registered) at run start,
+  /// instead of its owned arena/cache.  This is how a persistent worker
+  /// pool warms arenas under the convenience drivers (alg::sum_hmm etc.)
+  /// that construct Machines internally, out of the pool's reach: the
+  /// worker registers its arena once at thread start and every machine it
+  /// ever builds allocates frames from it.  Same ownership contract as
+  /// the per-machine hooks — not owned, must outlive every run on this
+  /// thread, never shared across threads; nullptr deregisters.  Warmth
+  /// never changes results: arenas hold transient coroutine frames and
+  /// pattern-cache entries are geometry-keyed exact profiles.
+  static void set_thread_frame_arena(FrameArena* arena);
+  static FrameArena* thread_frame_arena();
+  static void set_thread_pattern_cache(PatternCache* cache);
+  static PatternCache* thread_pattern_cache();
+
  private:
   friend class Engine;
 

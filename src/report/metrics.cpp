@@ -1,7 +1,10 @@
 #include "report/metrics.hpp"
 
 #include <algorithm>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hmm {
 
@@ -63,6 +66,87 @@ Table metrics_histogram_table(const MetricsSnapshot& s) {
                Table::cell(at(s.address_groups, degree))});
   }
   return t;
+}
+
+namespace {
+
+json::Value histogram_json(const StageHistogram& h) {
+  std::map<std::string, json::Value> o;
+  std::vector<json::Value> by_stages;
+  by_stages.reserve(h.batches_by_stages.size());
+  for (const std::int64_t count : h.batches_by_stages) {
+    by_stages.push_back(json::Value::make_int(count));
+  }
+  o["batches_by_stages"] = json::Value::make_array(std::move(by_stages));
+  o["batches"] = json::Value::make_int(h.batches);
+  o["max_stages"] = json::Value::make_int(h.max_stages);
+  o["total_stages"] = json::Value::make_int(h.total_stages);
+  return json::Value::make_object(std::move(o));
+}
+
+StageHistogram histogram_from_json(const json::Value& v) {
+  StageHistogram h;
+  for (const json::Value& count : v.get("batches_by_stages").as_array()) {
+    h.batches_by_stages.push_back(count.as_int64());
+  }
+  h.batches = v.get("batches").as_int64();
+  h.max_stages = v.get("max_stages").as_int64();
+  h.total_stages = v.get("total_stages").as_int64();
+  return h;
+}
+
+}  // namespace
+
+json::Value metrics_json(const MetricsSnapshot& s) {
+  std::map<std::string, json::Value> o;
+  o["runs"] = json::Value::make_int(s.runs);
+  o["conflict_degree"] = histogram_json(s.conflict_degree);
+  o["address_groups"] = histogram_json(s.address_groups);
+  o["shared_batches"] = json::Value::make_int(s.shared_batches);
+  o["shared_requests"] = json::Value::make_int(s.shared_requests);
+  o["global_batches"] = json::Value::make_int(s.global_batches);
+  o["global_requests"] = json::Value::make_int(s.global_requests);
+  o["memory_stall_cycles"] = json::Value::make_int(s.memory_stall_cycles);
+  o["barrier_stall_cycles"] = json::Value::make_int(s.barrier_stall_cycles);
+  o["barrier_releases"] = json::Value::make_int(s.barrier_releases);
+  o["warps_finished"] = json::Value::make_int(s.warps_finished);
+  o["makespan"] = json::Value::make_int(s.makespan);
+  o["exec_issue_slots"] = json::Value::make_int(s.exec_issue_slots);
+  o["global_stages"] = json::Value::make_int(s.global_stages);
+  o["global_busy"] = json::Value::make_int(s.global_busy);
+  o["shared_stages"] = json::Value::make_int(s.shared_stages);
+  o["shared_busy"] = json::Value::make_int(s.shared_busy);
+  o["bottleneck_stages"] = json::Value::make_int(s.bottleneck_stages);
+  o["global_occupancy"] = json::Value::make_double(s.global_occupancy);
+  o["shared_occupancy"] = json::Value::make_double(s.shared_occupancy);
+  o["latency_hiding"] = json::Value::make_double(s.latency_hiding);
+  return json::Value::make_object(std::move(o));
+}
+
+MetricsSnapshot metrics_from_json(const json::Value& v) {
+  MetricsSnapshot s;
+  s.runs = v.get("runs").as_int64();
+  s.conflict_degree = histogram_from_json(v.get("conflict_degree"));
+  s.address_groups = histogram_from_json(v.get("address_groups"));
+  s.shared_batches = v.get("shared_batches").as_int64();
+  s.shared_requests = v.get("shared_requests").as_int64();
+  s.global_batches = v.get("global_batches").as_int64();
+  s.global_requests = v.get("global_requests").as_int64();
+  s.memory_stall_cycles = v.get("memory_stall_cycles").as_int64();
+  s.barrier_stall_cycles = v.get("barrier_stall_cycles").as_int64();
+  s.barrier_releases = v.get("barrier_releases").as_int64();
+  s.warps_finished = v.get("warps_finished").as_int64();
+  s.makespan = v.get("makespan").as_int64();
+  s.exec_issue_slots = v.get("exec_issue_slots").as_int64();
+  s.global_stages = v.get("global_stages").as_int64();
+  s.global_busy = v.get("global_busy").as_int64();
+  s.shared_stages = v.get("shared_stages").as_int64();
+  s.shared_busy = v.get("shared_busy").as_int64();
+  s.bottleneck_stages = v.get("bottleneck_stages").as_int64();
+  s.global_occupancy = v.get("global_occupancy").as_double();
+  s.shared_occupancy = v.get("shared_occupancy").as_double();
+  s.latency_hiding = v.get("latency_hiding").as_double();
+  return s;
 }
 
 }  // namespace hmm

@@ -5,6 +5,7 @@
 // with a MetricsSnapshot in hand.
 #pragma once
 
+#include "core/json.hpp"
 #include "machine/report.hpp"
 #include "report/table.hpp"
 
@@ -18,5 +19,19 @@ Table metrics_summary_table(const MetricsSnapshot& snapshot);
 /// pricing) distributions: one row per cost with dispatch counts —
 /// the same shape as report::conflict_histogram_table for the checker.
 Table metrics_histogram_table(const MetricsSnapshot& snapshot);
+
+/// The snapshot as one JSON object — the ONE metrics wire schema, shared
+/// by `hmmsim --metrics=json` (single runs print exactly
+/// `json::to_string(metrics_json(s))`) and the service's metrics frames,
+/// so scripts parse one shape wherever a snapshot reaches them.  Every
+/// MetricsSnapshot field appears under its struct name; the two
+/// histograms serialise as {"batches","max_stages","total_stages",
+/// "batches_by_stages":[...]} objects.
+json::Value metrics_json(const MetricsSnapshot& snapshot);
+
+/// Inverse of metrics_json: reconstructs a snapshot that compares == to
+/// the original (locked by tests/service_test.cpp).  Throws
+/// PreconditionError on missing fields.
+MetricsSnapshot metrics_from_json(const json::Value& v);
 
 }  // namespace hmm

@@ -1,0 +1,49 @@
+// One fully resolved operating point and the dispatcher that runs it —
+// the SINGLE definition of "execute algorithm X at (n, m, p, w, l, d)"
+// shared by every frontend: the hmmsim CLI (local runs and sweeps), the
+// hmmsimd service (src/service/server.cpp) and bench_service.  Keeping
+// the dispatch here is what makes `hmmsim --connect` output byte-
+// identical to a local run: both sides execute exactly this function and
+// render rows through report/sweep_csv.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "alg/workload.hpp"
+#include "machine/observer.hpp"
+
+namespace hmm::run {
+
+/// One grid point of the sweep vocabulary (the hmmsim axes).
+struct Point {
+  std::string algorithm;      ///< sum, scan, conv, sort, matmul, match
+  std::string model = "hmm";  ///< or "umm"
+  std::int64_t n = 1 << 16;
+  std::int64_t m = 32;
+  std::int64_t p = 2048;
+  std::int64_t w = 32;
+  std::int64_t l = 400;
+  std::int64_t d = 16;
+  std::uint64_t seed = 1;
+  bool fast_forward = true;
+};
+
+/// What one executed point reports back.
+struct PointOutcome {
+  Cycle time = 0;
+  std::int64_t global_stages = 0;
+  std::int64_t ff_rounds = 0;  ///< RunReport::fast_forward.replayed_rounds
+  std::string summary;         ///< human one-liner ("sum = 42")
+};
+
+/// Execute `point` on a fresh machine, reading inputs through the shared
+/// immutable `workloads` cache (thread-safe; concurrent points reuse one
+/// buffer per distinct (n, seed)).  `observer`, when non-null, is
+/// attached for the run — each concurrent point needs its own instance.
+/// Throws PreconditionError on an unknown algorithm or incompatible
+/// shape (p not a positive multiple of d on the hmm model).
+PointOutcome run_point(const Point& point, alg::WorkloadCache& workloads,
+                       EngineObserver* observer = nullptr);
+
+}  // namespace hmm::run

@@ -1,0 +1,159 @@
+#include "service/address.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace hmm::service {
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw PreconditionError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_sockaddr(const Address& address) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (address.path.size() >= sizeof(sa.sun_path)) {
+    throw PreconditionError("unix socket path too long: " + address.path);
+  }
+  std::memcpy(sa.sun_path, address.path.c_str(), address.path.size() + 1);
+  return sa;
+}
+
+sockaddr_in tcp_sockaddr(const Address& address) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(address.port);
+  if (inet_pton(AF_INET, address.host.c_str(), &sa.sin_addr) != 1) {
+    throw PreconditionError("not an IPv4 address: " + address.host);
+  }
+  return sa;
+}
+
+}  // namespace
+
+std::string Address::spec() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Address parse_address(const std::string& spec) {
+  Address a;
+  if (spec.rfind("unix:", 0) == 0) {
+    a.kind = Address::Kind::kUnix;
+    a.path = spec.substr(5);
+    if (a.path.empty()) {
+      throw PreconditionError("unix address needs a path: " + spec);
+    }
+    return a;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    a.kind = Address::Kind::kTcp;
+    std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon != std::string::npos) {
+      a.host = rest.substr(0, colon);
+      rest = rest.substr(colon + 1);
+    }
+    if (a.host.empty() || rest.empty() ||
+        rest.find_first_not_of("0123456789") != std::string::npos ||
+        rest.size() > 5) {
+      throw PreconditionError("bad tcp address (want tcp:[HOST:]PORT): " +
+                              spec);
+    }
+    const long port = std::strtol(rest.c_str(), nullptr, 10);
+    if (port < 0 || port > 65535) {
+      throw PreconditionError("tcp port out of range: " + spec);
+    }
+    a.port = static_cast<std::uint16_t>(port);
+    return a;
+  }
+  throw PreconditionError("address must start with unix: or tcp: — " + spec);
+}
+
+int listen_address(Address& address, int backlog) {
+  if (address.kind == Address::Kind::kUnix) {
+    ::unlink(address.path.c_str());  // stale socket from a crashed daemon
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail_errno("socket(unix)");
+    const sockaddr_un sa = unix_sockaddr(address);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail_errno("bind " + address.spec());
+    }
+    if (::listen(fd, backlog) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail_errno("listen " + address.spec());
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket(tcp)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in sa = tcp_sockaddr(address);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("bind " + address.spec());
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("listen " + address.spec());
+  }
+  // Report the kernel-assigned port for tcp:0 so clients can find us.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    address.port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+int connect_address(const Address& address) {
+  if (address.kind == Address::Kind::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail_errno("socket(unix)");
+    const sockaddr_un sa = unix_sockaddr(address);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+        0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail_errno("connect " + address.spec());
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket(tcp)");
+  const sockaddr_in sa = tcp_sockaddr(address);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("connect " + address.spec());
+  }
+  return fd;
+}
+
+void unlink_address(const Address& address) {
+  if (address.kind == Address::Kind::kUnix) ::unlink(address.path.c_str());
+}
+
+}  // namespace hmm::service

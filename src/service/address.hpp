@@ -1,0 +1,43 @@
+// Service endpoint addressing: "unix:PATH" and "tcp:[HOST:]PORT".
+//
+// hmmsimd --listen and hmmsim --connect share this one spelling.  Unix
+// sockets are the default deployment (no port allocation, filesystem
+// permissions); TCP binds 127.0.0.1 unless a host is given and reports
+// the kernel-chosen port back for "tcp:0", which is what lets the ctest
+// smoke scripts run without a port reservation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hmm::service {
+
+struct Address {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;              ///< unix socket path
+  std::string host = "127.0.0.1";  ///< tcp only
+  std::uint16_t port = 0;          ///< tcp only; 0 = kernel-assigned
+
+  /// The canonical spelling ("unix:/run/hmm.sock", "tcp:127.0.0.1:7070").
+  std::string spec() const;
+};
+
+/// Parse "unix:PATH" or "tcp:[HOST:]PORT"; throws PreconditionError on
+/// anything else (unknown scheme, empty path, non-numeric port).
+Address parse_address(const std::string& spec);
+
+/// Create + bind + listen.  Returns the listening fd and rewrites
+/// `address` with the resolved endpoint (tcp:0 becomes the real port).
+/// For unix sockets any stale file at the path is removed first.
+/// Throws PreconditionError with errno text on failure.
+int listen_address(Address& address, int backlog);
+
+/// Create + connect a blocking socket; throws PreconditionError with
+/// errno text on failure.
+int connect_address(const Address& address);
+
+/// Remove a unix socket file after the listener closes (no-op for tcp).
+void unlink_address(const Address& address);
+
+}  // namespace hmm::service

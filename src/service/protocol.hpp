@@ -1,0 +1,225 @@
+// The hmmsimd wire protocol — newline-delimited JSON in both directions.
+//
+// A client writes one REQUEST object per line; the daemon answers with a
+// stream of FRAME objects, one per line, each tagged with the request id
+// it belongs to (`req`), so several requests can interleave on one
+// connection.  The full vocabulary (docs/OBSERVABILITY.md "Wire
+// protocol"):
+//
+//   requests:  run | stats | version | ping | drain
+//   frames:    hello | accepted | result | metrics | telemetry | drop |
+//              done | stats | heartbeat | pong | version | error | bye
+//
+// Everything is built on src/core/json: requests and frames are
+// json::Value objects serialised with json::to_string, and every frame
+// type parses back into an identical struct (frame_from_json; locked by
+// tests/service_test.cpp).  A run request carries the hmmsim sweep
+// vocabulary verbatim — per-axis value LISTS expanded to the row-major
+// cartesian grid by expand_grid, exactly the CLI's order — and each
+// result frame carries the finished sweep-CSV row for its grid point, so
+// `hmmsim --connect` output is byte-identical to a local `--csv` run by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/json.hpp"
+#include "machine/report.hpp"
+#include "run/point.hpp"
+#include "service/stats.hpp"
+
+namespace hmm::service {
+
+// ---- requests (client -> server) ----------------------------------------
+
+/// Execute a run or sweep: the hmmsim axes, each a value list; more than
+/// one value on any axis makes it a sweep over the cartesian grid.
+struct RunRequest {
+  std::string id;         ///< echoed as `req` in every response frame
+  std::string algorithm;  ///< sum, scan, conv, sort, matmul, match
+  std::string model = "hmm";
+  std::vector<std::int64_t> n{1 << 16};
+  std::vector<std::int64_t> m{32};
+  std::vector<std::int64_t> p{2048};
+  std::vector<std::int64_t> w{32};
+  std::vector<std::int64_t> l{400};
+  std::vector<std::int64_t> d{16};
+  std::uint64_t seed = 1;
+  bool fast_forward = true;
+  bool metrics = false;  ///< stream a metrics frame per grid point
+  /// Per-grid-point trace-event budget for live telemetry frames; 0
+  /// disables the trace channel entirely.  The daemon clamps this to its
+  /// --telemetry-budget cap and counts everything past the budget in
+  /// drop frames (backpressure, never unbounded buffering).
+  std::int64_t telemetry = 0;
+
+  friend bool operator==(const RunRequest&, const RunRequest&) = default;
+};
+
+struct StatsRequest {
+  std::string id;
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
+
+struct VersionRequest {
+  std::string id;
+  friend bool operator==(const VersionRequest&,
+                         const VersionRequest&) = default;
+};
+
+struct PingRequest {
+  std::string id;
+  friend bool operator==(const PingRequest&, const PingRequest&) = default;
+};
+
+/// Graceful shutdown: stop accepting run requests, finish everything
+/// already queued, send every client a bye frame, exit.
+struct DrainRequest {
+  std::string id;
+  friend bool operator==(const DrainRequest&, const DrainRequest&) = default;
+};
+
+using Request =
+    std::variant<RunRequest, StatsRequest, VersionRequest, PingRequest,
+                 DrainRequest>;
+
+json::Value request_json(const Request& request);
+/// Throws PreconditionError on unknown type, missing fields, empty or
+/// non-positive axis values (mirrors the CLI's hardened parse_list).
+Request request_from_json(const json::Value& v);
+
+/// The request's cartesian grid in row-major (n, m, p, w, l, d) order —
+/// the exact expansion hmmsim performs, so grid_index i here names the
+/// same operating point as row i of the local sweep.
+std::vector<run::Point> expand_grid(const RunRequest& request);
+
+// ---- frames (server -> client) ------------------------------------------
+
+/// First frame on every connection.
+struct HelloFrame {
+  std::string version;                ///< hmm::kVersionString
+  std::vector<std::string> features;  ///< hmm::kFeatures
+  std::int64_t client = 0;            ///< this connection's id
+  friend bool operator==(const HelloFrame&, const HelloFrame&) = default;
+};
+
+/// A run request passed admission and joined the queue.
+struct AcceptedFrame {
+  std::string req;
+  std::int64_t grid_points = 0;
+  std::int64_t queue_depth = 0;  ///< requests ahead of this one
+  friend bool operator==(const AcceptedFrame&, const AcceptedFrame&) = default;
+};
+
+/// One finished grid point.  `row` is the sweep-CSV row (metric columns
+/// included when the request asked for metrics); the scalar fields
+/// repeat the measurement for consumers that don't want to split CSV.
+struct ResultFrame {
+  std::string req;
+  std::int64_t grid_index = 0;
+  std::string row;
+  std::string summary;
+  Cycle time = 0;
+  std::int64_t global_stages = 0;
+  std::int64_t ff_rounds = 0;
+  friend bool operator==(const ResultFrame&, const ResultFrame&) = default;
+};
+
+/// The full MetricsSnapshot of one grid point (same schema as
+/// `hmmsim --metrics=json`, report/metrics.hpp).
+struct MetricsFrame {
+  std::string req;
+  std::int64_t grid_index = 0;
+  MetricsSnapshot metrics;
+  friend bool operator==(const MetricsFrame&, const MetricsFrame&) = default;
+};
+
+/// One live TraceEvent (telemetry/ndjson.hpp), streamed while the grid
+/// point is still running.
+struct TelemetryFrame {
+  std::string req;
+  std::int64_t grid_index = 0;
+  TraceEvent event;
+  friend bool operator==(const TelemetryFrame&,
+                         const TelemetryFrame&) = default;
+};
+
+/// Telemetry backpressure: `dropped` events of this grid point exceeded
+/// the budget and were counted instead of streamed.
+struct DropFrame {
+  std::string req;
+  std::int64_t grid_index = 0;
+  std::int64_t dropped = 0;
+  friend bool operator==(const DropFrame&, const DropFrame&) = default;
+};
+
+/// A run request finished; totals over all its grid points.
+struct DoneFrame {
+  std::string req;
+  std::int64_t rows = 0;
+  std::int64_t telemetry_frames = 0;
+  std::int64_t telemetry_dropped = 0;
+  std::int64_t skipped = 0;  ///< points not simulated (client vanished)
+  friend bool operator==(const DoneFrame&, const DoneFrame&) = default;
+};
+
+struct StatsFrame {
+  std::string req;
+  ServiceStatsSnapshot stats;
+  friend bool operator==(const StatsFrame&, const StatsFrame&) = default;
+};
+
+/// Periodic liveness + load signal (server --heartbeat-ms).
+struct HeartbeatFrame {
+  std::int64_t seq = 0;
+  ServiceStatsSnapshot stats;
+  friend bool operator==(const HeartbeatFrame&,
+                         const HeartbeatFrame&) = default;
+};
+
+struct PongFrame {
+  std::string req;
+  friend bool operator==(const PongFrame&, const PongFrame&) = default;
+};
+
+struct VersionFrame {
+  std::string req;
+  std::string version;
+  std::vector<std::string> features;
+  friend bool operator==(const VersionFrame&, const VersionFrame&) = default;
+};
+
+/// Request-scoped failure (admission refusal, unknown algorithm, bad
+/// shape).  `req` is empty when the line didn't parse far enough to
+/// carry an id.
+struct ErrorFrame {
+  std::string req;
+  std::string message;
+  friend bool operator==(const ErrorFrame&, const ErrorFrame&) = default;
+};
+
+/// Last frame before the daemon closes the connection.
+struct ByeFrame {
+  bool drained = true;
+  std::int64_t served = 0;  ///< run requests completed over the lifetime
+  friend bool operator==(const ByeFrame&, const ByeFrame&) = default;
+};
+
+using Frame =
+    std::variant<HelloFrame, AcceptedFrame, ResultFrame, MetricsFrame,
+                 TelemetryFrame, DropFrame, DoneFrame, StatsFrame,
+                 HeartbeatFrame, PongFrame, VersionFrame, ErrorFrame,
+                 ByeFrame>;
+
+json::Value frame_json(const Frame& frame);
+/// Throws PreconditionError on unknown `frame` tags or missing fields.
+Frame frame_from_json(const json::Value& v);
+
+/// Convenience: `json::to_string(frame_json(f))` — the exact NDJSON line
+/// the daemon writes (no trailing newline).
+std::string frame_line(const Frame& frame);
+
+}  // namespace hmm::service

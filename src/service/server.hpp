@@ -1,0 +1,182 @@
+// The hmmsimd server — a persistent simulation service over NDJSON.
+//
+// One Server owns four kinds of threads and one WorkloadCache:
+//
+//  * the SERVE loop (the caller's thread): poll()s the listening socket,
+//    accepts connections, reaps dead ones, broadcasts heartbeat frames
+//    and supervises graceful drain;
+//  * one READER thread per connection: splits the byte stream into
+//    NDJSON lines, answers ping/version/stats inline and enqueues run
+//    requests (admission control: per-client budget, global queue cap,
+//    drain refusals);
+//  * one EXECUTOR thread: pops run requests FIFO and streams each one's
+//    grid through the worker pool — results, metrics, telemetry and drop
+//    frames interleave on the wire as points finish, each tagged with
+//    (req, grid_index);
+//  * a persistent WORKER pool (config.jobs threads): each worker
+//    registers a thread-default FrameArena and PatternCache with the
+//    Machine (machine/machine.hpp) at startup, so arenas and pattern
+//    caches stay WARM across requests — the latency edge a daemon has
+//    over forking `hmmsim` per sweep, measured by bench_service.
+//
+// Determinism: every grid point runs run::run_point — the same dispatch
+// the CLI uses — and result frames carry the finished sweep-CSV row, so
+// a client reassembling rows by grid_index reproduces the local `--csv`
+// byte stream exactly (locked by tools/service_roundtrip.sh).
+//
+// Failure containment: a write error marks the connection dead; the
+// executor then skips that client's remaining grid points (counted in
+// ServiceStats::points_skipped and the done frame it can no longer
+// deliver) instead of simulating into a closed socket.  A mid-stream
+// disconnect therefore never leaks a worker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alg/workload.hpp"
+#include "service/address.hpp"
+#include "service/protocol.hpp"
+#include "service/stats.hpp"
+
+namespace hmm::service {
+
+struct ServerConfig {
+  Address listen;
+  int jobs = 1;           ///< worker pool size (grid points in parallel)
+  int heartbeat_ms = 0;   ///< 0 disables heartbeat frames
+  int max_queue = 64;     ///< global cap on queued run requests
+  int client_budget = 8;  ///< per-client cap on queued run requests
+  /// Hard cap a run request's `telemetry` budget is clamped to.
+  std::int64_t max_telemetry_budget = 1 << 16;
+};
+
+/// Persistent worker pool with warmed per-thread arenas/pattern caches.
+/// One dispatcher at a time (the server's executor thread) hands it a
+/// (count, fn) batch; workers claim indices through an atomic cursor.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int jobs);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Run fn(0..count-1), each index exactly once, across the pool;
+  /// returns when all indices finished.  `fn` must not throw — callers
+  /// convert per-index failures into error frames themselves.
+  void for_each(std::int64_t count, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void worker();
+
+  const int jobs_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::int64_t)>* fn_ = nullptr;  // guarded by mu_
+  std::int64_t count_ = 0;                                 // guarded by mu_
+  std::int64_t generation_ = 0;                            // guarded by mu_
+  std::int64_t workers_done_ = 0;                          // guarded by mu_
+  bool stop_ = false;                                      // guarded by mu_
+  std::atomic<std::int64_t> next_{0};
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen and start the executor and worker threads.  After
+  /// start() returns, address() is fully resolved (tcp:0 has its real
+  /// port).  Throws PreconditionError on bind failure.
+  void start();
+
+  /// Accept and serve until drain completes.  Blocks; returns once every
+  /// queued request finished, every client got a bye frame and all
+  /// threads joined.
+  void serve();
+
+  /// Begin graceful drain: reject new run requests, finish the queue,
+  /// then shut down.  Safe to call from any thread and from signal
+  /// handlers (it only flips an atomic and writes one byte to a pipe).
+  void request_drain();
+
+  const Address& address() const { return config_.listen; }
+  const ServerConfig& config() const { return config_; }
+
+  /// Aggregate counters plus the per-active-client breakdown.
+  ServiceStatsSnapshot stats_snapshot();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::int64_t id = 0;
+    std::mutex write_mu;
+    std::atomic<bool> dead{false};
+    std::atomic<std::int64_t> queued{0};  ///< its run requests in queue
+    std::atomic<std::int64_t> requests{0};
+    std::atomic<std::int64_t> frames{0};
+    std::atomic<std::int64_t> telemetry_dropped{0};
+    std::atomic<std::int64_t> served{0};  ///< run requests completed
+    std::thread reader;
+
+    ~Connection();
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  struct QueuedRun {
+    ConnectionPtr conn;
+    RunRequest request;
+    std::vector<run::Point> grid;
+  };
+
+  void accept_one();
+  void reader_loop(ConnectionPtr conn);
+  void dispatch_line(const ConnectionPtr& conn, const std::string& line);
+  void enqueue_run(const ConnectionPtr& conn, RunRequest request);
+  void executor_loop();
+  void execute_run(QueuedRun job);
+  void broadcast_heartbeat();
+  void shutdown_connections();
+
+  /// Serialize + write one frame; returns false (and marks the
+  /// connection dead) on any socket error.
+  bool send_frame(const ConnectionPtr& conn, const Frame& frame);
+  bool send_line(const ConnectionPtr& conn, std::string_view line,
+                 bool telemetry);
+
+  ServerConfig config_;
+  ServiceStats stats_;
+  alg::WorkloadCache workloads_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: request_drain -> serve loop
+  std::atomic<bool> draining_{false};
+  std::atomic<std::int64_t> next_client_id_{1};
+  std::atomic<std::int64_t> heartbeat_seq_{0};
+
+  std::mutex conns_mu_;
+  std::vector<ConnectionPtr> conns_;  // guarded by conns_mu_
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedRun> queue_;  // guarded by queue_mu_
+  bool executor_stop_ = false;   // guarded by queue_mu_
+  std::thread executor_;
+};
+
+}  // namespace hmm::service

@@ -1,0 +1,85 @@
+#include "telemetry/ndjson.hpp"
+
+#include <map>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace hmm::telemetry {
+
+namespace {
+
+const char* kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kMemory: return "memory";
+    case TraceEvent::Kind::kCompute: return "compute";
+    case TraceEvent::Kind::kBarrier: return "barrier";
+  }
+  throw PreconditionError("trace event: unknown kind");
+}
+
+TraceEvent::Kind kind_from_name(const std::string& name) {
+  if (name == "memory") return TraceEvent::Kind::kMemory;
+  if (name == "compute") return TraceEvent::Kind::kCompute;
+  if (name == "barrier") return TraceEvent::Kind::kBarrier;
+  throw PreconditionError("trace event: unknown kind \"" + name + "\"");
+}
+
+}  // namespace
+
+json::Value trace_event_json(const TraceEvent& event) {
+  std::map<std::string, json::Value> o;
+  o["kind"] = json::Value::make_string(kind_name(event.kind));
+  o["warp"] = json::Value::make_int(event.warp);
+  o["dmm"] = json::Value::make_int(event.dmm);
+  o["space"] = json::Value::make_string(
+      event.space == MemorySpace::kShared ? "shared" : "global");
+  o["requests"] = json::Value::make_int(event.requests);
+  o["stages"] = json::Value::make_int(event.stages);
+  o["begin"] = json::Value::make_int(event.begin);
+  o["end"] = json::Value::make_int(event.end);
+  o["ready"] = json::Value::make_int(event.ready);
+  return json::Value::make_object(std::move(o));
+}
+
+TraceEvent trace_event_from_json(const json::Value& v) {
+  TraceEvent e;
+  e.kind = kind_from_name(v.get("kind").as_string());
+  e.warp = v.get("warp").as_int64();
+  e.dmm = v.get("dmm").as_int64();
+  const std::string& space = v.get("space").as_string();
+  if (space == "shared") {
+    e.space = MemorySpace::kShared;
+  } else if (space == "global") {
+    e.space = MemorySpace::kGlobal;
+  } else {
+    throw PreconditionError("trace event: unknown space \"" + space + "\"");
+  }
+  e.requests = v.get("requests").as_int64();
+  e.stages = v.get("stages").as_int64();
+  e.begin = v.get("begin").as_int64();
+  e.end = v.get("end").as_int64();
+  e.ready = v.get("ready").as_int64();
+  return e;
+}
+
+NdjsonStreamSink::NdjsonStreamSink(LineWriter writer, std::int64_t budget,
+                                   Wrap wrap)
+    : writer_(std::move(writer)), wrap_(std::move(wrap)), budget_(budget) {
+  HMM_REQUIRE(static_cast<bool>(writer_),
+              "ndjson sink: writer must be callable");
+  HMM_REQUIRE(budget >= 0, "ndjson sink: budget must be >= 0");
+}
+
+void NdjsonStreamSink::consume(const TraceEvent& event) {
+  if (streamed_ >= budget_) {
+    ++dropped_;
+    return;
+  }
+  ++streamed_;
+  json::Value line = trace_event_json(event);
+  if (wrap_) line = wrap_(std::move(line));
+  writer_(json::to_string(line));
+}
+
+}  // namespace hmm::telemetry

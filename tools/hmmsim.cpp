@@ -16,7 +16,9 @@
 //
 // This is the "downstream user" entry point: measure a workload at any
 // (n, m, p, w, l, d) operating point — or a whole grid of them — without
-// writing C++.
+// writing C++.  With --connect=ADDR the same vocabulary runs against a
+// hmmsimd daemon instead of in-process, with byte-identical sweep output
+// (docs/OBSERVABILITY.md "The simulation service").
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
@@ -25,15 +27,12 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
-#include "alg/convolution.hpp"
-#include "alg/matmul.hpp"
 #include "alg/plans.hpp"
-#include "alg/prefix_sums.hpp"
-#include "alg/sort.hpp"
-#include "alg/string_match.hpp"
 #include "alg/sum.hpp"
+#include "alg/sort.hpp"
 #include "alg/workload.hpp"
 #include "analysis/checker.hpp"
 #include "analysis/static/diff.hpp"
@@ -43,8 +42,10 @@
 #include "report/findings.hpp"
 #include "report/metrics.hpp"
 #include "report/sweep_csv.hpp"
+#include "run/point.hpp"
 #include "run/shard.hpp"
 #include "run/sweep.hpp"
+#include "service/client.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/fanout.hpp"
 #include "telemetry/metrics.hpp"
@@ -92,6 +93,9 @@ struct Cli {
   std::int64_t trace_capacity = 1 << 16;    ///< ring sink window (events)
   bool metrics = false;
   bool metrics_csv = false;                 ///< --metrics=csv
+  bool metrics_json = false;                ///< --metrics=json
+  std::string connect;                      ///< --connect=ADDR: client mode
+  std::int64_t telemetry = 0;               ///< --telemetry=N (connect only)
   std::string emit_manifest_path;           ///< --emit-manifest=FILE
   std::int64_t shards = 0;                  ///< --shards=K (with emit)
   bool sharded = false;                     ///< --shard=i/K given
@@ -164,15 +168,35 @@ int usage(const char* argv0) {
       "                    operating point only)\n"
       "  --trace-capacity=N  ring-buffer window for --trace: keep the\n"
       "                    last N events, O(N) memory (default 65536)\n"
-      "  --metrics[=table|csv]  collect model metrics (conflict-degree /\n"
-      "                    address-group histograms, stall breakdown,\n"
-      "                    occupancy, latency hiding).  Single point:\n"
-      "                    prints tables (or CSV); sweeps: appends metric\n"
-      "                    columns to every CSV row.\n\n"
+      "  --metrics[=table|csv|json]  collect model metrics (conflict-\n"
+      "                    degree / address-group histograms, stall\n"
+      "                    breakdown, occupancy, latency hiding).  Single\n"
+      "                    point: prints tables, CSV, or one JSON object\n"
+      "                    (the service's metrics-frame schema); sweeps:\n"
+      "                    appends metric columns to every CSV row.\n"
+      "  --version         print the version and compiled-in features\n"
+      "  --connect=ADDR    run against a hmmsimd daemon (unix:PATH or\n"
+      "                    tcp:[HOST:]PORT) instead of in-process.  Sweep\n"
+      "                    output is byte-identical to the same local\n"
+      "                    sweep.  Control verbs instead of an algorithm:\n"
+      "                    --ping, --stats, --version, --drain.\n"
+      "  --telemetry=N     with --connect: stream up to N live trace\n"
+      "                    events per grid point to stderr as NDJSON\n"
+      "                    (events past the budget are counted in drop\n"
+      "                    frames, never buffered)\n\n"
       "Comma-separated values sweep the cartesian grid in parallel, e.g.\n"
       "  %s sum --n 4096,65536 --l 100,400 --jobs 0\n",
       kVersionString, argv0, argv0);
   return 2;
+}
+
+void print_version(const char* name) {
+  std::printf("%s %s\n", name, kVersionString);
+  std::printf("features:");
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    std::printf(" %s", kFeatures[i]);
+  }
+  std::printf("\n");
 }
 
 bool parse_analyze_modes(const char* s, Cli& cli) {
@@ -263,6 +287,19 @@ bool parse(int argc, char** argv, Cli& cli) {
     } else if (a == "--metrics=csv") {
       cli.metrics = true;
       cli.metrics_csv = true;
+    } else if (a == "--metrics=json") {
+      cli.metrics = true;
+      cli.metrics_json = true;
+    } else if (a.rfind("--connect=", 0) == 0) {
+      cli.connect = a.substr(std::strlen("--connect="));
+      if (cli.connect.empty()) return false;
+    } else if (a.rfind("--telemetry=", 0) == 0) {
+      std::vector<std::int64_t> one;
+      if (!parse_list(a.c_str() + std::strlen("--telemetry="), one, 0) ||
+          one.size() != 1) {
+        return false;
+      }
+      cli.telemetry = one[0];
     } else if (a.rfind("--trace=", 0) == 0) {
       cli.trace_path = a.substr(std::strlen("--trace="));
       if (cli.trace_path.empty()) return false;
@@ -343,6 +380,15 @@ bool parse(int argc, char** argv, Cli& cli) {
   // --analyze and --check are distinct drivers with distinct exit-code
   // vocabularies; composing them would make a nonzero exit ambiguous.
   if (cli.analyze && cli.check) return false;
+  // Live telemetry streaming only exists on the service wire.
+  if (cli.telemetry > 0 && cli.connect.empty()) return false;
+  // Client mode ships the sweep vocabulary to the daemon; the local-only
+  // drivers (checker, analyzer, trace export, sharding) stay local.
+  if (!cli.connect.empty() &&
+      (cli.check || cli.analyze || !cli.trace_path.empty() || cli.sharded ||
+       !cli.emit_manifest_path.empty())) {
+    return false;
+  }
   // "dmm" is an analyze-only model: the shared-memory workloads
   // (transpose, permute) have no span driver in the sweep vocabulary.
   if (cli.model == "dmm") return cli.analyze && cli.jobs >= 0;
@@ -432,105 +478,38 @@ struct Outcome {
   std::optional<SweepStaticVerdict> analyze;  ///< --analyze sweeps only
 };
 
+run::Point to_point(const Options& o) {
+  run::Point point;
+  point.algorithm = o.algorithm;
+  point.model = o.model;
+  point.n = o.n;
+  point.m = o.m;
+  point.p = o.p;
+  point.w = o.w;
+  point.l = o.l;
+  point.d = o.d;
+  point.seed = o.seed;
+  point.fast_forward = o.fast_forward;
+  return point;
+}
+
+/// Execute one grid point through the shared dispatcher (run/point.hpp)
+/// — the same code path the hmmsimd service runs, which is what makes
+/// `--connect` output byte-identical to a local run.
 Outcome run_algorithm(const Options& o, EngineObserver* observer = nullptr) {
-  const bool hmm_model = o.model == "hmm";
-  const std::int64_t pd = hmm_model ? o.p / o.d : 0;
-  if (hmm_model && (o.p % o.d != 0 || pd < 1)) {
-    throw PreconditionError("--p must be a positive multiple of --d");
-  }
-
+  const run::PointOutcome r = run::run_point(to_point(o), workloads, observer);
   Outcome out;
-  auto finish = [&](const RunReport& r, std::string summary) {
-    out.time = r.makespan;
-    out.global_stages = r.global_pipeline.stages;
-    out.ff_rounds = r.fast_forward.replayed_rounds;
-    out.summary = std::move(summary);
-  };
-
-  if (o.algorithm == "sum") {
-    const auto xs = workloads.random_words(o.n, o.seed);
-    if (hmm_model) {
-      const auto r = alg::sum_hmm(*xs, o.d, pd, o.w, o.l, observer, o.fast_forward);
-      finish(r.report, "sum = " + std::to_string(r.sum));
-    } else {
-      const auto r = alg::sum_umm(*xs, o.p, o.w, o.l, observer, o.fast_forward);
-      finish(r.report, "sum = " + std::to_string(r.sum));
-    }
-  } else if (o.algorithm == "scan") {
-    const auto xs = workloads.random_words(o.n, o.seed);
-    if (hmm_model) {
-      const auto r = alg::prefix_sums_hmm(*xs, o.d, pd, o.w, o.l, observer,
-                                          o.fast_forward);
-      finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
-    } else {
-      const auto r = alg::prefix_sums_umm(*xs, o.p, o.w, o.l, observer,
-                                          o.fast_forward);
-      finish(r.report, "last prefix = " + std::to_string(r.prefix.back()));
-    }
-  } else if (o.algorithm == "conv") {
-    const auto a = workloads.random_words(o.m, o.seed);
-    const auto x =
-        workloads.random_words(alg::conv_signal_length(o.m, o.n), o.seed + 1);
-    if (hmm_model) {
-      const auto r = alg::convolution_hmm(*a, *x, o.d, pd, o.w, o.l, observer,
-                                          o.fast_forward);
-      finish(r.report, "z[0] = " + std::to_string(r.z.front()));
-    } else {
-      const auto r = alg::convolution_umm(*a, *x, o.p, o.w, o.l, observer,
-                                          o.fast_forward);
-      finish(r.report, "z[0] = " + std::to_string(r.z.front()));
-    }
-  } else if (o.algorithm == "sort") {
-    const auto xs = workloads.random_words(o.n, o.seed);
-    if (hmm_model) {
-      const auto r = alg::sort_hmm(*xs, o.d, pd, o.w, o.l, observer, o.fast_forward);
-      finish(r.report, "min = " + std::to_string(r.sorted.front()) +
-                           ", max = " + std::to_string(r.sorted.back()));
-    } else {
-      const auto r = alg::sort_umm(*xs, o.p, o.w, o.l, observer, o.fast_forward);
-      finish(r.report, "min = " + std::to_string(r.sorted.front()) +
-                           ", max = " + std::to_string(r.sorted.back()));
-    }
-  } else if (o.algorithm == "matmul") {
-    const auto a = workloads.random_words(o.n * o.n, o.seed);
-    const auto b = workloads.random_words(o.n * o.n, o.seed + 1);
-    if (hmm_model) {
-      const std::int64_t tile = std::min<std::int64_t>(o.n, o.w);
-      const auto r = alg::matmul_hmm_tiled(*a, *b, o.n, o.d, pd, o.w, o.l, tile,
-                                           observer, o.fast_forward);
-      finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
-    } else {
-      const auto r = alg::matmul_umm(*a, *b, o.n, o.p, o.w, o.l, observer,
-                                     o.fast_forward);
-      finish(r.report, "C[0][0] = " + std::to_string(r.c.front()));
-    }
-  } else if (o.algorithm == "match") {
-    const auto pat = workloads.random_words(o.m, o.seed, 0, 3);
-    const auto txt = workloads.random_words(o.n, o.seed + 1, 0, 3);
-    if (hmm_model) {
-      const auto r = alg::string_match_hmm(*pat, *txt, o.d, pd, o.w, o.l,
-                                           observer, o.fast_forward);
-      finish(r.report,
-             "min distance = " +
-                 std::to_string(*std::min_element(r.distance.begin(),
-                                                  r.distance.end())));
-    } else {
-      const auto r = alg::string_match_umm(*pat, *txt, o.p, o.w, o.l, observer,
-                                           o.fast_forward);
-      finish(r.report,
-             "min distance = " +
-                 std::to_string(*std::min_element(r.distance.begin(),
-                                                  r.distance.end())));
-    }
-  } else {
-    throw PreconditionError("unknown algorithm: " + o.algorithm);
-  }
+  out.time = r.time;
+  out.global_stages = r.global_stages;
+  out.ff_rounds = r.ff_rounds;
+  out.summary = r.summary;
   return out;
 }
 
 void write_trace_file(const std::string& path,
                       const telemetry::RingBufferSink& sink);
 void print_metrics(const MetricsSnapshot& snapshot, bool csv);
+void print_metrics_mode(const Cli& cli, const MetricsSnapshot& snapshot);
 
 /// Print a table with its title line ("== checker findings (...) =="),
 /// so runs that emit several tables stay self-describing.
@@ -632,7 +611,7 @@ int run_checked(const Options& o, const Cli& cli) {
   // Telemetry output rides along even when findings map to a nonzero
   // exit code below — a failed check is exactly when the trace helps.
   if (!cli.trace_path.empty()) write_trace_file(cli.trace_path, sink);
-  if (cli.metrics) print_metrics(registry.snapshot(), cli.metrics_csv);
+  if (cli.metrics) print_metrics_mode(cli, registry.snapshot());
 
   using analysis::FindingKind;
   if (checker.count(FindingKind::kRace) > 0) return kExitRace;
@@ -756,6 +735,192 @@ void print_metrics(const MetricsSnapshot& snapshot, bool csv) {
   }
 }
 
+/// Metrics output in the requested spelling.  --metrics=json emits ONE
+/// JSON object in the exact schema of the service's metrics frames
+/// (report/metrics.hpp metrics_json), so a dashboard consumes local runs
+/// and daemon streams with the same parser.
+void print_metrics_mode(const Cli& cli, const MetricsSnapshot& snapshot) {
+  if (cli.metrics_json) {
+    std::printf("%s\n", json::to_string(metrics_json(snapshot)).c_str());
+  } else {
+    print_metrics(snapshot, cli.metrics_csv);
+  }
+}
+
+/// --connect control verbs (--ping / --stats / --version / --drain):
+/// one request, wait for its answer frame, print it.
+int client_control(const std::string& spec, const std::string& verb) {
+  service::Client client;
+  client.connect(service::parse_address(spec));
+  if (verb == "--ping") {
+    client.send(service::PingRequest{"cli"});
+  } else if (verb == "--stats") {
+    client.send(service::StatsRequest{"cli"});
+  } else if (verb == "--version") {
+    client.send(service::VersionRequest{"cli"});
+  } else {
+    client.send(service::DrainRequest{"cli"});
+  }
+  while (true) {
+    const auto frame = client.read_frame();
+    if (!frame) {
+      std::fprintf(stderr, "error: server closed the connection\n");
+      return 1;
+    }
+    if (const auto* pong = std::get_if<service::PongFrame>(&*frame)) {
+      (void)pong;
+      std::printf("pong\n");
+      return 0;
+    }
+    if (const auto* stats = std::get_if<service::StatsFrame>(&*frame)) {
+      std::printf("%s\n",
+                  json::to_string(service::stats_json(stats->stats)).c_str());
+      return 0;
+    }
+    if (const auto* version = std::get_if<service::VersionFrame>(&*frame)) {
+      std::printf("hmmsimd %s\nfeatures:", version->version.c_str());
+      for (const std::string& f : version->features) {
+        std::printf(" %s", f.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    }
+    if (const auto* bye = std::get_if<service::ByeFrame>(&*frame)) {
+      std::printf("drained (served %lld run requests on this connection)\n",
+                  static_cast<long long>(bye->served));
+      return 0;
+    }
+    if (const auto* error = std::get_if<service::ErrorFrame>(&*frame)) {
+      std::fprintf(stderr, "error: %s\n", error->message.c_str());
+      return 1;
+    }
+    // Heartbeats and interleaved frames of other requests: keep reading.
+  }
+}
+
+/// --connect run mode: ship the sweep vocabulary to the daemon and
+/// reassemble its result frames into EXACTLY the byte stream the same
+/// invocation produces locally (rows print in grid order as soon as the
+/// contiguous prefix is complete, so a --jobs=1 daemon streams rows
+/// live).  Telemetry and drop frames go to stderr as raw NDJSON; stdout
+/// stays byte-identical (locked by tools/service_roundtrip.sh).
+int client_run(const Cli& cli) {
+  const std::vector<Options> grid = expand_grid(cli);
+  if (cli.metrics_json && grid.size() != 1) {
+    std::fprintf(stderr,
+                 "error: --metrics=json prints one object for a single "
+                 "operating point, not a sweep\n");
+    return 2;
+  }
+  service::Client client;
+  client.connect(service::parse_address(cli.connect));
+  service::RunRequest request;
+  request.id = "cli";
+  request.algorithm = cli.algorithm;
+  request.model = cli.model;
+  request.n = cli.n;
+  request.m = cli.m;
+  request.p = cli.p;
+  request.w = cli.w;
+  request.l = cli.l;
+  request.d = cli.d;
+  request.seed = cli.seed;
+  request.fast_forward = cli.fast_forward;
+  request.metrics = cli.metrics;
+  request.telemetry = cli.telemetry;
+  client.send(request);
+
+  std::int64_t grid_points = -1;
+  std::vector<std::string> rows;
+  std::vector<bool> have;
+  std::int64_t next_print = 0;
+  std::optional<service::ResultFrame> single_result;
+  std::optional<MetricsSnapshot> single_metrics;
+  int exit_code = 0;
+  const auto print_ready_prefix = [&] {
+    while (next_print < grid_points && have[static_cast<std::size_t>(
+                                          next_print)]) {
+      std::printf("%s\n", rows[static_cast<std::size_t>(next_print)].c_str());
+      ++next_print;
+    }
+  };
+
+  while (true) {
+    const auto frame = client.read_frame();
+    if (!frame) {
+      std::fprintf(stderr, "error: server closed the connection "
+                           "mid-stream\n");
+      return 1;
+    }
+    if (const auto* accepted = std::get_if<service::AcceptedFrame>(&*frame)) {
+      grid_points = accepted->grid_points;
+      rows.resize(static_cast<std::size_t>(grid_points));
+      have.assign(static_cast<std::size_t>(grid_points), false);
+      // Sweeps print a header unless --csv asked for bare rows — the
+      // same rule the local sweep path follows.
+      if (grid_points > 1 && !cli.csv) {
+        std::printf("%s\n", sweep_csv_header(cli.metrics, false).c_str());
+      }
+    } else if (const auto* result =
+                   std::get_if<service::ResultFrame>(&*frame)) {
+      if (grid_points == 1) {
+        single_result = *result;
+      } else if (result->grid_index >= 0 && result->grid_index < grid_points) {
+        rows[static_cast<std::size_t>(result->grid_index)] = result->row;
+        have[static_cast<std::size_t>(result->grid_index)] = true;
+        print_ready_prefix();
+      }
+    } else if (const auto* metrics =
+                   std::get_if<service::MetricsFrame>(&*frame)) {
+      if (grid_points == 1) single_metrics = metrics->metrics;
+    } else if (std::holds_alternative<service::TelemetryFrame>(*frame) ||
+               std::holds_alternative<service::DropFrame>(*frame)) {
+      std::fprintf(stderr, "%s\n", service::frame_line(*frame).c_str());
+    } else if (const auto* error = std::get_if<service::ErrorFrame>(&*frame)) {
+      std::fprintf(stderr, "error: %s\n", error->message.c_str());
+      exit_code = 1;
+      if (grid_points < 0) return exit_code;  // rejected before accepted
+    } else if (const auto* done = std::get_if<service::DoneFrame>(&*frame)) {
+      if (done->skipped > 0) {
+        std::fprintf(stderr, "error: server skipped %lld grid points\n",
+                     static_cast<long long>(done->skipped));
+        exit_code = 1;
+      }
+      break;
+    }
+    // Hello was consumed by connect(); heartbeats and frames of other
+    // requests are ignored.
+  }
+
+  if (grid_points == 1) {
+    if (!single_result) {
+      std::fprintf(stderr, "error: no result frame received\n");
+      return 1;
+    }
+    const Options& opt = grid.front();
+    if (cli.csv) {
+      std::printf("%s\n", single_result->row.c_str());
+    } else {
+      std::printf(
+          "%s on %s(n=%lld, m=%lld, p=%lld, w=%lld, l=%lld, d=%lld)\n",
+          opt.algorithm.c_str(), opt.model.c_str(),
+          static_cast<long long>(opt.n), static_cast<long long>(opt.m),
+          static_cast<long long>(opt.p), static_cast<long long>(opt.w),
+          static_cast<long long>(opt.l), static_cast<long long>(opt.d));
+      std::printf("  %s\n", single_result->summary.c_str());
+      std::printf("  time: %lld time units, global pipeline stages: %lld"
+                  ", fast-forwarded rounds: %lld\n",
+                  static_cast<long long>(single_result->time),
+                  static_cast<long long>(single_result->global_stages),
+                  static_cast<long long>(single_result->ff_rounds));
+      if (cli.metrics && single_metrics) {
+        print_metrics_mode(cli, *single_metrics);
+      }
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 /// One sweep CSV row through the shared schema (report/sweep_csv.hpp),
@@ -773,10 +938,42 @@ void print_csv_row(const Options& opt, const Outcome& out, bool metrics,
 }
 
 int main(int argc, char** argv) {
+  // --version and the service control verbs bypass the sweep parser:
+  // they take no algorithm.
+  std::string connect_spec;
+  std::string verb;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--connect=", 0) == 0) {
+      connect_spec = a.substr(std::strlen("--connect="));
+    } else if (a == "--ping" || a == "--stats" || a == "--drain" ||
+               a == "--version") {
+      verb = a;
+    }
+  }
   Cli cli;
   try {
+    if (verb == "--version" && connect_spec.empty()) {
+      if (argc != 2) return usage(argv[0]);
+      print_version("hmm-sim");
+      return 0;
+    }
+    if (!verb.empty()) {
+      if (connect_spec.empty() || argc != 3) return usage(argv[0]);
+      return client_control(connect_spec, verb);
+    }
     if (!parse(argc, argv, cli)) return usage(argv[0]);
+    if (!cli.connect.empty()) return client_run(cli);
     const std::vector<Options> grid = expand_grid(cli);
+
+    // --metrics=json is the single-run JSON mode; a sweep's metrics ride
+    // the CSV columns instead.
+    if (cli.metrics_json && (grid.size() != 1 || cli.sharded)) {
+      std::fprintf(stderr,
+                   "error: --metrics=json prints one object for a single "
+                   "operating point, not a sweep\n");
+      return 2;
+    }
 
     // Plan-only mode: write the K-shard job manifest and exit without
     // simulating anything.
@@ -913,7 +1110,7 @@ int main(int argc, char** argv) {
                     static_cast<long long>(out.ff_rounds));
       }
       if (!cli.trace_path.empty()) write_trace_file(cli.trace_path, sink);
-      if (cli.metrics && !opt.csv) print_metrics(*out.metrics, cli.metrics_csv);
+      if (cli.metrics && !opt.csv) print_metrics_mode(cli, *out.metrics);
       return 0;
     }
 

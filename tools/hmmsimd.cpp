@@ -1,0 +1,139 @@
+// hmmsimd — the simulation service daemon.
+//
+//   hmmsimd --listen=ADDR [--jobs=N] [--heartbeat-ms=N] [--max-queue=N]
+//           [--client-budget=N] [--telemetry-budget=N]
+//
+// Accepts newline-delimited JSON requests (run/sweep, stats, version,
+// ping, drain) over a unix or TCP socket and streams back incremental
+// NDJSON frames: per-grid-point results, metrics snapshots and — opt-in,
+// budget-bounded — live telemetry events.  The worker pool keeps frame
+// arenas and pattern caches warm across requests, which is the latency
+// edge over forking `hmmsim` per sweep (measured by bench_service).
+//
+// `hmmsim --connect=ADDR` is the matching client; the wire protocol is
+// documented in docs/OBSERVABILITY.md.  SIGINT/SIGTERM (or a client's
+// drain request) trigger a graceful drain: queued requests finish, every
+// client gets a bye frame, then the daemon exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/version.hpp"
+#include "service/server.hpp"
+
+using namespace hmm;
+
+namespace {
+
+service::Server* g_server = nullptr;
+
+// request_drain only flips atomics and writes one byte to the server's
+// self-pipe — async-signal-safe by construction.
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+int usage() {
+  std::printf(
+      "hmmsimd %s — memory machine simulation service (NDJSON over a "
+      "socket)\n\n"
+      "usage: hmmsimd --listen=ADDR [options]\n"
+      "  --listen=ADDR        unix:PATH or tcp:[HOST:]PORT (tcp:0 picks a\n"
+      "                       free port and prints it)\n"
+      "  --jobs=N             worker threads; grid points of one request\n"
+      "                       run N at a time (default 1)\n"
+      "  --heartbeat-ms=N     broadcast a heartbeat frame with the full\n"
+      "                       stats snapshot every N ms (default 0 = off)\n"
+      "  --max-queue=N        global cap on queued run requests "
+      "(default 64)\n"
+      "  --client-budget=N    per-client cap on queued run requests\n"
+      "                       (default 8)\n"
+      "  --telemetry-budget=N hard cap on a request's per-point telemetry\n"
+      "                       budget (default 65536)\n"
+      "  --version            print the version and features\n\n"
+      "Drain with SIGINT/SIGTERM or a {\"type\":\"drain\"} request "
+      "(hmmsim --connect=ADDR --drain).\n",
+      kVersionString);
+  return 2;
+}
+
+bool parse_int(const std::string& arg, const char* prefix, long& out,
+               long min_value) {
+  const std::size_t n = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string v = arg.substr(n);
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  out = std::strtol(v.c_str(), nullptr, 10);
+  return out >= min_value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerConfig config;
+  std::string listen_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    long value = 0;
+    if (a == "--version") {
+      std::printf("hmmsimd %s\nfeatures:", kVersionString);
+      for (std::size_t f = 0; f < kFeatureCount; ++f) {
+        std::printf(" %s", kFeatures[f]);
+      }
+      std::printf("\n");
+      return 0;
+    } else if (a.rfind("--listen=", 0) == 0) {
+      listen_spec = a.substr(std::strlen("--listen="));
+    } else if (parse_int(a, "--jobs=", value, 1)) {
+      config.jobs = static_cast<int>(value);
+    } else if (parse_int(a, "--heartbeat-ms=", value, 0)) {
+      config.heartbeat_ms = static_cast<int>(value);
+    } else if (parse_int(a, "--max-queue=", value, 1)) {
+      config.max_queue = static_cast<int>(value);
+    } else if (parse_int(a, "--client-budget=", value, 1)) {
+      config.client_budget = static_cast<int>(value);
+    } else if (parse_int(a, "--telemetry-budget=", value, 0)) {
+      config.max_telemetry_budget = value;
+    } else {
+      return usage();
+    }
+  }
+  if (listen_spec.empty()) return usage();
+
+  try {
+    config.listen = service::parse_address(listen_spec);
+    service::Server server(config);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    // Smoke scripts wait for this exact line before connecting; the
+    // resolved spec matters for tcp:0.
+    std::printf("hmmsimd %s listening on %s (jobs=%d)\n", kVersionString,
+                server.address().spec().c_str(), config.jobs);
+    std::fflush(stdout);
+
+    server.serve();
+
+    const service::ServiceStatsSnapshot s = server.stats_snapshot();
+    g_server = nullptr;
+    std::printf("drained: %lld completed, %lld rejected, %lld failed, "
+                "%lld frames sent, %lld telemetry dropped, "
+                "%lld points skipped\n",
+                static_cast<long long>(s.requests_completed),
+                static_cast<long long>(s.requests_rejected),
+                static_cast<long long>(s.requests_failed),
+                static_cast<long long>(s.frames_sent),
+                static_cast<long long>(s.telemetry_dropped),
+                static_cast<long long>(s.points_skipped));
+    return 0;
+  } catch (const std::exception& e) {
+    g_server = nullptr;
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env sh
+# End-to-end lock for the hmmsimd service (ISSUE 8 acceptance criteria;
+# run as the `service_roundtrip` ctest):
+#
+#   1. an `hmmsim --connect` sweep is byte-identical to the same sweep
+#      run locally with --csv (with and without --metrics);
+#   2. live telemetry streams with ZERO drop frames when the requested
+#      budget covers the run, and exact backpressure accounting (budget
+#      lines + a drop frame) when it does not;
+#   3. the control verbs work over the socket: --ping, --stats,
+#      remote --version;
+#   4. the daemon survives a client killed mid-stream — the worker is
+#      not leaked and later requests still stream correct bytes;
+#   5. --drain ends the daemon gracefully: exit 0 and the drained
+#      summary line.
+#
+#   usage: service_roundtrip.sh /path/to/hmmsim /path/to/hmmsimd
+set -eu
+
+HMMSIM="$1"
+HMMSIMD="$2"
+GRID="sum --n 2048,8192 --l 100,400 --d 4,16"
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/svc_rt.XXXXXX")
+SOCK="$TMP/d.sock"
+DAEMON_PID=
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "service_roundtrip: FAIL: $1" >&2; exit 1; }
+
+echo "== start the daemon on a unix socket =="
+"$HMMSIMD" --listen="unix:$SOCK" --jobs=2 > "$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+until grep -q "listening on" "$TMP/daemon.log" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || fail "daemon never printed its listening line"
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited during startup"
+  sleep 0.1
+done
+
+echo "== --connect sweep is byte-identical to local --csv =="
+$HMMSIM $GRID --csv > "$TMP/local.csv"
+[ "$(wc -l < "$TMP/local.csv")" -eq 8 ] || fail "expected 8 grid points"
+$HMMSIM $GRID --csv --connect="unix:$SOCK" > "$TMP/remote.csv"
+cmp "$TMP/local.csv" "$TMP/remote.csv" \
+  || fail "--connect sweep differs from local --csv"
+
+echo "== metrics columns stay byte-identical over the wire =="
+$HMMSIM $GRID --csv --metrics > "$TMP/local_metrics.csv"
+$HMMSIM $GRID --csv --metrics --connect="unix:$SOCK" \
+  > "$TMP/remote_metrics.csv"
+cmp "$TMP/local_metrics.csv" "$TMP/remote_metrics.csv" \
+  || fail "--connect --metrics sweep differs from local"
+
+echo "== zero drop frames when the telemetry budget covers the run =="
+$HMMSIM sum --n 1024 --p 256 --csv --connect="unix:$SOCK" \
+  --telemetry=65536 > "$TMP/under.csv" 2> "$TMP/under.ndjson"
+streamed=$(grep -c '"frame":"telemetry"' "$TMP/under.ndjson" || true)
+dropped=$(grep -c '"frame":"drop"' "$TMP/under.ndjson" || true)
+[ "$streamed" -gt 0 ] || fail "no telemetry frames streamed under budget"
+[ "$dropped" -eq 0 ] || fail "drop frames despite a covering budget"
+
+echo "== exact backpressure past the budget =="
+$HMMSIM sum --n 1024 --p 256 --csv --connect="unix:$SOCK" \
+  --telemetry=5 > /dev/null 2> "$TMP/over.ndjson"
+streamed=$(grep -c '"frame":"telemetry"' "$TMP/over.ndjson" || true)
+dropped=$(grep -c '"frame":"drop"' "$TMP/over.ndjson" || true)
+[ "$streamed" -eq 5 ] || fail "expected exactly 5 telemetry frames, got $streamed"
+[ "$dropped" -eq 1 ] || fail "expected exactly 1 drop frame, got $dropped"
+grep '"frame":"drop"' "$TMP/over.ndjson" | grep -q '"dropped":' \
+  || fail "drop frame carries no dropped counter"
+
+echo "== control verbs: ping, stats, remote version =="
+$HMMSIM --connect="unix:$SOCK" --ping | grep -q "pong" || fail "ping"
+$HMMSIM --connect="unix:$SOCK" --stats > "$TMP/stats.json"
+grep -q '"requests_completed":' "$TMP/stats.json" || fail "stats counters"
+grep -q '"clients":' "$TMP/stats.json" || fail "stats client breakdown"
+$HMMSIM --connect="unix:$SOCK" --version | grep -q "hmmsimd" \
+  || fail "remote version"
+
+echo "== daemon survives a client killed mid-stream =="
+$HMMSIM sum --n 8192,16384,32768,65536 --l 100,200,400,800 --csv \
+  --connect="unix:$SOCK" > /dev/null 2>&1 &
+CLIENT_PID=$!
+sleep 0.3
+kill -9 "$CLIENT_PID" 2>/dev/null || true
+wait "$CLIENT_PID" 2>/dev/null || true
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died with its client"
+# The worker was not leaked: the very next request streams correct bytes.
+$HMMSIM $GRID --csv --connect="unix:$SOCK" > "$TMP/after_kill.csv"
+cmp "$TMP/local.csv" "$TMP/after_kill.csv" \
+  || fail "sweep after client kill differs from local --csv"
+
+echo "== graceful drain =="
+$HMMSIM --connect="unix:$SOCK" --drain | grep -q "drained" \
+  || fail "drain verb reported no drain"
+i=0
+while kill -0 "$DAEMON_PID" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || fail "daemon still alive after drain"
+  sleep 0.1
+done
+set +e
+wait "$DAEMON_PID"
+status=$?
+set -e
+[ "$status" -eq 0 ] || fail "daemon exited $status after drain"
+grep -q "^drained:" "$TMP/daemon.log" || fail "drained summary line missing"
+DAEMON_PID=
+
+echo "service_roundtrip: OK"
