@@ -349,7 +349,16 @@ void AccessChecker::commit_request(const MemoryBatchEvent& event,
 
 void AccessChecker::on_memory_batch(const MemoryBatchEvent& event) {
   if (config_.conflict) {
-    tally(event.dmm_pricing ? shared_hist_ : global_hist_, event.stages);
+    // Certify against the MODEL price (bank conflict degree / address
+    // groups), not the pipeline slot: event.stages also carries any
+    // interconnect surcharge of a --machine topology, which says nothing
+    // about how well the access coalesces.
+    const std::int64_t degree =
+        event.profile != nullptr
+            ? (event.dmm_pricing ? event.profile->dmm_stages
+                                 : event.profile->umm_stages)
+            : event.stages;
+    tally(event.dmm_pricing ? shared_hist_ : global_hist_, degree);
 
     // (c) Two lanes of one dispatch writing the same address.  Flag the
     // first colliding pair per address (the earliest write "owns" it).

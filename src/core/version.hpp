@@ -7,9 +7,9 @@
 namespace hmm {
 
 inline constexpr int kVersionMajor = 1;
-inline constexpr int kVersionMinor = 1;
+inline constexpr int kVersionMinor = 2;
 inline constexpr int kVersionPatch = 0;
-inline constexpr const char* kVersionString = "1.1.0";
+inline constexpr const char* kVersionString = "1.2.0";
 
 /// Optional engine/tooling capabilities compiled into this build, in
 /// lexicographic order.  `hmmsim --version`, the daemon's hello frame and
@@ -19,6 +19,7 @@ inline constexpr const char* kFeatures[] = {
     "analyze",       // symbolic access-plan analyzer (--analyze)
     "check",         // dynamic AccessChecker (--check)
     "fast-forward",  // round-pattern memoization + verified replay
+    "machine-topology",  // declarative --machine JSON topologies
     "metrics",       // telemetry MetricsRegistry (--metrics, table/csv/json)
     "service",       // hmmsimd daemon + hmmsim --connect client mode
     "sharding",      // cross-process sweeps (--emit-manifest/--shard)

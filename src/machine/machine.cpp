@@ -22,6 +22,8 @@ thread_local FrameArena* t_default_arena = nullptr;
 thread_local PatternCache* t_default_cache = nullptr;
 // Default for MachineConfig::threads == 0 (set_thread_engine_threads).
 thread_local std::int64_t t_default_threads = 1;
+// Topology overlay consulted by Machine::hmm (set_thread_machine_overlay).
+thread_local const MachineOverlay* t_default_overlay = nullptr;
 }  // namespace
 
 void Machine::set_thread_frame_arena(FrameArena* arena) {
@@ -37,6 +39,13 @@ void Machine::set_thread_engine_threads(std::int64_t threads) {
   t_default_threads = threads < 1 ? 1 : threads;
 }
 std::int64_t Machine::thread_engine_threads() { return t_default_threads; }
+
+void Machine::set_thread_machine_overlay(const MachineOverlay* overlay) {
+  t_default_overlay = overlay;
+}
+const MachineOverlay* Machine::thread_machine_overlay() {
+  return t_default_overlay;
+}
 
 Machine::WorkerResources& Machine::worker_resources(std::int64_t index) {
   HMM_REQUIRE(index >= 0, "worker resource slot must be non-negative");
@@ -66,10 +75,33 @@ Machine::Machine(MachineConfig config)
   if (config_.shared) {
     HMM_REQUIRE(config_.shared->size >= 1 && config_.shared->latency >= 1,
                 "invalid shared memory spec");
+    HMM_REQUIRE(config_.shared_per_dmm.empty() ||
+                    static_cast<std::int64_t>(config_.shared_per_dmm.size()) ==
+                        topology_.num_dmms(),
+                "shared_per_dmm must be empty or have one spec per DMM");
     shared_.reserve(static_cast<std::size_t>(topology_.num_dmms()));
     for (DmmId j = 0; j < topology_.num_dmms(); ++j) {
-      shared_.emplace_back(geom, *config_.shared, /*dmm=*/true);
+      const MemorySpec& spec =
+          config_.shared_per_dmm.empty()
+              ? *config_.shared
+              : config_.shared_per_dmm[static_cast<std::size_t>(j)];
+      HMM_REQUIRE(spec.size >= 1 && spec.latency >= 1,
+                  "invalid shared memory spec");
+      shared_.emplace_back(geom, spec, /*dmm=*/true);
     }
+  } else {
+    HMM_REQUIRE(config_.shared_per_dmm.empty(),
+                "shared_per_dmm requires a shared memory");
+  }
+  HMM_REQUIRE(config_.links.empty() ||
+                  static_cast<std::int64_t>(config_.links.size()) ==
+                      topology_.num_dmms(),
+              "links must be empty or have one entry per DMM");
+  for (const DmmLink& link : config_.links) {
+    HMM_REQUIRE(link.words_per_stage >= 0 && link.latency >= 0,
+                "invalid DMM link");
+    HMM_REQUIRE(!link.active() || config_.global.has_value(),
+                "DMM links require a global memory");
   }
   if (config_.global) {
     HMM_REQUIRE(config_.global->size >= 1 && config_.global->latency >= 1,
@@ -111,6 +143,28 @@ Machine Machine::hmm(std::int64_t width, Cycle global_latency,
   cfg.shared = MemorySpec{shared_size, shared_latency};
   cfg.global = MemorySpec{global_size, global_latency};
   cfg.record_trace = record_trace;
+  // A registered topology overlay reshapes the machine the driver asked
+  // for: per-DMM thread counts and shared specs, plus interconnect links.
+  // The driver's shared_size formula (computed for the LARGEST DMM, see
+  // run::run_point) stays the per-DMM floor so kernels keep the room
+  // they sized for.
+  if (const MachineOverlay* ov = thread_machine_overlay()) {
+    HMM_REQUIRE(
+        static_cast<std::int64_t>(ov->threads_per_dmm.size()) == num_dmms &&
+            static_cast<std::int64_t>(ov->shared.size()) == num_dmms &&
+            static_cast<std::int64_t>(ov->links.size()) == num_dmms,
+        "machine overlay: the driver built an HMM with " +
+            std::to_string(num_dmms) + " DMMs but the --machine topology " +
+            "describes " + std::to_string(ov->threads_per_dmm.size()));
+    cfg.threads_per_dmm = ov->threads_per_dmm;
+    cfg.shared_per_dmm.reserve(static_cast<std::size_t>(num_dmms));
+    for (std::int64_t j = 0; j < num_dmms; ++j) {
+      const MemorySpec& o = ov->shared[static_cast<std::size_t>(j)];
+      cfg.shared_per_dmm.push_back(
+          MemorySpec{std::max(shared_size, o.size), o.latency});
+    }
+    cfg.links = ov->links;
+  }
   return Machine(std::move(cfg));
 }
 
@@ -424,6 +478,28 @@ class Engine {
                             std::int64_t k, std::int64_t nl);
 
   Machine::Port& port_for(DmmId dmm, MemorySpace space);
+
+  /// Extra global-pipeline stages a batch of `requests` words pays for
+  /// crossing `dmm`'s interconnect link (0 for local DMMs).  A pure
+  /// function of (dmm, requests), so the replay path and the coordinator
+  /// recompute the identical surcharge the recording path priced.
+  std::int64_t link_extra_stages(DmmId dmm, std::int64_t requests) const {
+    if (machine_.config_.links.empty()) return 0;
+    const DmmLink& link = machine_.config_.links[static_cast<std::size_t>(dmm)];
+    if (!link.active()) return 0;
+    return link.latency +
+           (requests + link.words_per_stage - 1) / link.words_per_stage;
+  }
+
+  /// Tally one global batch against `dmm`'s link (no-op for local DMMs).
+  /// Call exactly once per GLOBAL pipeline inject — all such sites run
+  /// serially (serial loop or coordinator merge), so plain counters.
+  void note_link_traffic(DmmId dmm, std::int64_t requests) {
+    const std::int64_t extra = link_extra_stages(dmm, requests);
+    if (extra == 0) return;
+    ++link_remote_batches_;
+    link_stages_ += extra;
+  }
   ThreadState& thread(ThreadId t) {
     return threads_[static_cast<std::size_t>(t)];
   }
@@ -489,6 +565,12 @@ class Engine {
   // observers see every event of a fully simulated run).
   bool replay_enabled_ = false;
   std::vector<WarpTracker> trackers_;  // one per warp
+  // Interconnect tallies (RunReport::link).  Bumped only at GLOBAL
+  // pipeline inject sites, all of which run in serial contexts — the
+  // serial loop itself, or the coordinator's service_global merge — so
+  // plain members need no per-shard split.
+  std::int64_t link_remote_batches_ = 0;
+  std::int64_t link_stages_ = 0;
   RunReport report_;
   // Trace routing, sampled once per run: trace_ is true when ANY consumer
   // wants TraceEvents (the legacy record_trace collector and/or an
@@ -749,6 +831,8 @@ RunReport Engine::run() {
       report_.fast_forward.cache_misses += s.cache->misses() - s.cache_misses0;
     }
   }
+  report_.link.remote_batches = link_remote_batches_;
+  report_.link.stages = link_stages_;
   if (machine_.observer_) machine_.observer_->on_run_end(report_);
   return std::move(report_);
 }
@@ -1066,8 +1150,16 @@ void Engine::memory_round(Shard& s, WarpState& w, MemorySpace space) {
   } else {
     profile = profile_batch(port.memory.geometry(), batch, scratch);
   }
-  const std::int64_t stages =
+  std::int64_t stages =
       port.dmm_pricing ? profile.dmm_stages : profile.umm_stages;
+  // Cross-HMM global traffic pays its interconnect as extra stages,
+  // folded in HERE — the one place stages are computed — so the parked
+  // round (pg.stages), the recorded pattern (record_memory_slot) and the
+  // replay inject all inherit the surcharge unchanged.
+  if (space == MemorySpace::kGlobal) {
+    stages +=
+        link_extra_stages(w.dmm, static_cast<std::int64_t>(batch.size()));
+  }
 
   // Issuing the access is one warp instruction on this DMM's SIMD engine;
   // the pipeline then carries the batch independently (latency hiding).
@@ -1099,6 +1191,9 @@ void Engine::memory_round(Shard& s, WarpState& w, MemorySpace space) {
     return;
   }
 
+  if (space == MemorySpace::kGlobal) {
+    note_link_traffic(w.dmm, static_cast<std::int64_t>(batch.size()));
+  }
   const PipelineSlot slot = port.pipeline.inject(
       issue, stages, static_cast<std::int64_t>(batch.size()));
   if (machine_.observer_) {
@@ -1687,6 +1782,7 @@ Engine::ReplayResult Engine::try_replay_round(Shard& sh, WarpState& w,
         ++sh.ff.replayed_rounds;
         return ReplayResult::kParked;
       }
+      if (s.space == MemorySpace::kGlobal) note_link_traffic(w.dmm, s.nreq);
       const PipelineSlot ps = port.pipeline.inject(issue, s.stages, s.nreq);
       for (const std::int32_t b : s.banks) mem.add_bank_traffic(b, 1);
       w.clock = ps.data_ready;
@@ -1843,6 +1939,9 @@ Engine::PendingGlobal& Engine::acquire_pending(Shard& s) {
 void Engine::service_global(Shard& s, PendingGlobal& pg) {
   WarpState& w = warps_[static_cast<std::size_t>(pg.warp)];
   Machine::Port& port = *machine_.global_;
+  note_link_traffic(w.dmm, pg.replay
+                               ? pg.nreq
+                               : static_cast<std::int64_t>(pg.batch.size()));
   if (!pg.replay) {
     const PipelineSlot slot = port.pipeline.inject(
         pg.issue, pg.stages, static_cast<std::int64_t>(pg.batch.size()));

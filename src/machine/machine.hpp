@@ -54,11 +54,53 @@ struct MemorySpec {
   Cycle latency = 1;
 };
 
+/// Interconnect pricing for one DMM whose HMM does not own the global
+/// memory (multi-GPU topologies, src/machine/topology_spec.hpp).  A
+/// global batch from such a DMM crosses the link, which costs
+///
+///   latency + ceil(requests / words_per_stage)
+///
+/// EXTRA pipeline stages on top of the UMM coalescing cost: the latency
+/// term models the hop delay, the bandwidth term serializes the words
+/// through the link.  Extra stages both delay the issuing warp's
+/// data_ready and occupy the home pipeline longer, so remote traffic
+/// backpressures local traffic — the contention a shared interconnect
+/// actually creates.  words_per_stage == 0 means "no link" (a DMM local
+/// to the home HMM).
+struct DmmLink {
+  Cycle latency = 0;
+  std::int64_t words_per_stage = 0;
+  bool active() const { return words_per_stage > 0; }
+  friend bool operator==(const DmmLink&, const DmmLink&) = default;
+};
+
+/// Per-DMM deviations from the uniform (d, p, w, l) machine, consulted
+/// by Machine::hmm through a thread-local hook (set_thread_machine_overlay)
+/// because the span drivers (alg::sum_hmm etc.) build their Machines
+/// internally, out of reach of MachineConfig.  All three vectors must
+/// have exactly one entry per DMM of the machine being built; `shared`
+/// carries each DMM's pipeline latency and a MINIMUM word count that is
+/// max-combined with the driver's own size formula.
+struct MachineOverlay {
+  std::vector<std::int64_t> threads_per_dmm;
+  std::vector<MemorySpec> shared;
+  std::vector<DmmLink> links;
+};
+
 struct MachineConfig {
   std::int64_t width = 32;
   std::vector<std::int64_t> threads_per_dmm = {32};
   std::optional<MemorySpec> shared;  ///< per-DMM shared memory, DMM pricing
   std::optional<MemorySpec> global;  ///< one global memory, UMM pricing
+  /// Per-DMM shared-memory specs (heterogeneous topologies).  Empty means
+  /// "every DMM uses `shared`"; otherwise exactly one entry per DMM, and
+  /// `shared` must still be set (it remains the has-shared flag and the
+  /// uniform fallback for reporting).
+  std::vector<MemorySpec> shared_per_dmm;
+  /// Per-DMM interconnect links (empty = all DMMs local to the global
+  /// memory; otherwise exactly one entry per DMM, inactive entries for
+  /// local DMMs).
+  std::vector<DmmLink> links;
   /// Collect the full event stream into RunReport::trace.  Compatibility
   /// shim over the sink API: the engine feeds one emission path, and this
   /// flag is exactly "a telemetry::CollectingSink owned by the report" —
@@ -192,6 +234,19 @@ class Machine {
   static void set_thread_pattern_cache(PatternCache* cache);
   static PatternCache* thread_pattern_cache();
 
+  // ---- machine topology overlay ----------------------------------------
+  /// Thread-local MachineOverlay consulted by the Machine::hmm factory:
+  /// while registered, every HMM built on this thread adopts the
+  /// overlay's per-DMM thread counts, shared specs and links (the DMM
+  /// count must match — a driver constructing a differently-shaped
+  /// machine under an overlay is a precondition error).  This is how a
+  /// non-trivial --machine topology reaches the span drivers; see
+  /// run::run_point.  Same contract as the hooks above: not owned, must
+  /// outlive the registration, never shared across threads; nullptr
+  /// deregisters.  Machine::dmm / Machine::umm ignore the overlay.
+  static void set_thread_machine_overlay(const MachineOverlay* overlay);
+  static const MachineOverlay* thread_machine_overlay();
+
   // ---- intra-run parallelism -------------------------------------------
   /// Engine worker threads for subsequent runs (overrides
   /// MachineConfig::threads; 0 restores "inherit the thread default").
@@ -248,6 +303,23 @@ class Machine {
   // Slot i serves engine worker i+1; unique_ptr keeps slots address-stable
   // while the registry grows (workers hold references across a run).
   std::vector<std::unique_ptr<WorkerResources>> worker_resources_;
+};
+
+/// RAII registration of a thread-local MachineOverlay for the span of one
+/// dispatch (mirrors run::run_point's EngineThreadsScope): restores the
+/// previous registration even when the guarded code throws.
+class MachineOverlayScope {
+ public:
+  explicit MachineOverlayScope(const MachineOverlay* overlay)
+      : saved_(Machine::thread_machine_overlay()) {
+    Machine::set_thread_machine_overlay(overlay);
+  }
+  ~MachineOverlayScope() { Machine::set_thread_machine_overlay(saved_); }
+  MachineOverlayScope(const MachineOverlayScope&) = delete;
+  MachineOverlayScope& operator=(const MachineOverlayScope&) = delete;
+
+ private:
+  const MachineOverlay* saved_;
 };
 
 }  // namespace hmm

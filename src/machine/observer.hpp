@@ -37,7 +37,10 @@ struct MemoryBatchEvent {
   MemorySpace space = MemorySpace::kShared;
   bool dmm_pricing = false;        ///< true: bank pricing; false: groups
   Cycle issue = 0;                 ///< cycle the warp instruction issued
-  std::int64_t stages = 0;         ///< priced pipeline stages of the batch
+  /// Priced pipeline stages of the batch, interconnect surcharge included
+  /// for cross-HMM global traffic (--machine links).  The pure model
+  /// price (conflict degree / address groups) is in `profile`.
+  std::int64_t stages = 0;
   Cycle inject_begin = 0;          ///< first injection cycle of the slot
   Cycle inject_end = 0;            ///< last injection cycle of the slot
   Cycle data_ready = 0;            ///< first cycle the issuer may proceed

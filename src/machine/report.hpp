@@ -89,6 +89,11 @@ struct MetricsSnapshot {
   /// hidden, Fig. 4); -> 0 = latency- or compute-bound.
   double latency_hiding = 0.0;
 
+  /// Interconnect traffic (multi-HMM topologies; both 0 on single-HMM
+  /// machines).  Sums of RunReport::link over the observed runs.
+  std::int64_t link_remote_batches = 0;
+  std::int64_t link_stages = 0;
+
   friend bool operator==(const MetricsSnapshot&,
                          const MetricsSnapshot&) = default;
 };
@@ -108,6 +113,17 @@ struct FastForwardStats {
   std::int64_t bailouts = 0;        ///< replays abandoned on verify failure
 };
 
+/// Interconnect tallies of one run (multi-HMM topologies,
+/// src/machine/topology_spec.hpp).  Part of the simulated result: the
+/// extra stages reshape the global pipeline's timeline, so they compare
+/// in RunReport::operator== like every other priced quantity.  Both
+/// fields are 0 on single-HMM machines.
+struct LinkStats {
+  std::int64_t remote_batches = 0;  ///< global batches that crossed a link
+  std::int64_t stages = 0;          ///< extra pipeline stages they paid
+  friend bool operator==(const LinkStats&, const LinkStats&) = default;
+};
+
 struct RunReport {
   Cycle makespan = 0;  ///< completion time of the slowest warp (time units)
 
@@ -118,6 +134,8 @@ struct RunReport {
   std::int64_t barrier_releases = 0;
   std::int64_t threads = 0;
   std::int64_t warps = 0;
+
+  LinkStats link;  ///< interconnect traffic (zero on single-HMM machines)
 
   std::vector<TraceEvent> trace;  ///< populated only when tracing
 
@@ -140,7 +158,7 @@ struct RunReport {
            a.shared_pipelines == b.shared_pipelines && a.exec == b.exec &&
            a.barrier_releases == b.barrier_releases &&
            a.threads == b.threads && a.warps == b.warps &&
-           a.trace == b.trace && a.metrics == b.metrics;
+           a.link == b.link && a.trace == b.trace && a.metrics == b.metrics;
   }
 };
 

@@ -49,6 +49,10 @@ Table metrics_summary_table(const MetricsSnapshot& s) {
              "stages / busy cycles, all ports"});
   t.add_row({"latency_hiding", Table::cell(s.latency_hiding),
              "bottleneck stages / makespan; 1 = bandwidth-bound"});
+  t.add_row({"link_remote_batches", Table::cell(s.link_remote_batches),
+             "global batches across interconnects"});
+  t.add_row({"link_stages", Table::cell(s.link_stages),
+             "extra pipeline stages paid to links"});
   return t;
 }
 
@@ -120,6 +124,8 @@ json::Value metrics_json(const MetricsSnapshot& s) {
   o["global_occupancy"] = json::Value::make_double(s.global_occupancy);
   o["shared_occupancy"] = json::Value::make_double(s.shared_occupancy);
   o["latency_hiding"] = json::Value::make_double(s.latency_hiding);
+  o["link_remote_batches"] = json::Value::make_int(s.link_remote_batches);
+  o["link_stages"] = json::Value::make_int(s.link_stages);
   return json::Value::make_object(std::move(o));
 }
 
@@ -146,6 +152,13 @@ MetricsSnapshot metrics_from_json(const json::Value& v) {
   s.global_occupancy = v.get("global_occupancy").as_double();
   s.shared_occupancy = v.get("shared_occupancy").as_double();
   s.latency_hiding = v.get("latency_hiding").as_double();
+  // find(): frames from a pre-topology peer simply lack these fields.
+  if (const json::Value* x = v.find("link_remote_batches")) {
+    s.link_remote_batches = x->as_int64();
+  }
+  if (const json::Value* x = v.find("link_stages")) {
+    s.link_stages = x->as_int64();
+  }
   return s;
 }
 

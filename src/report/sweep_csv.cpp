@@ -11,7 +11,7 @@ std::string sweep_csv_header(bool metrics, bool sharded, bool analyze) {
   if (metrics) {
     header +=
         ",conflict_degree_max,address_groups_max,memory_stall,barrier_stall,"
-        "latency_hiding";
+        "latency_hiding,link_batches,link_stages";
   }
   if (analyze) header += ",static_degree_max,static_groups_max,static_verdict";
   if (sharded) header += ",grid_index,shard,fingerprint";
@@ -32,11 +32,12 @@ std::string sweep_csv_row(const SweepPoint& point, const SweepMeasurement& m,
   if (m.metrics != nullptr) {
     const MetricsSnapshot& s = *m.metrics;
     std::snprintf(buf, sizeof buf,
-                  ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%.6f",
+                  ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%.6f"
+                  ",%" PRId64 ",%" PRId64,
                   s.conflict_degree.max_stages, s.address_groups.max_stages,
                   static_cast<std::int64_t>(s.memory_stall_cycles),
                   static_cast<std::int64_t>(s.barrier_stall_cycles),
-                  s.latency_hiding);
+                  s.latency_hiding, s.link_remote_batches, s.link_stages);
     row += buf;
   }
   if (m.analyze != nullptr) {

@@ -1,6 +1,7 @@
 #include "run/point.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "alg/convolution.hpp"
 #include "alg/matmul.hpp"
@@ -39,8 +40,25 @@ PointOutcome run_point(const Point& o, alg::WorkloadCache& workloads,
                        EngineObserver* observer) {
   const EngineThreadsScope threads_scope(o.threads);
   const bool hmm_model = o.model == "hmm";
-  const std::int64_t pd = hmm_model ? o.p / o.d : 0;
-  if (hmm_model && (o.p % o.d != 0 || pd < 1)) {
+  // A non-trivial topology reaches the span drivers as a thread-local
+  // MachineOverlay (trivial specs and plain flags take the untouched
+  // path).  The drivers' shared-size formulas are nondecreasing in the
+  // per-DMM thread count, so sizing them for the LARGEST DMM — with the
+  // overlay's per-DMM minima applied on top — gives every kernel the
+  // room it expects on a heterogeneous machine.
+  const bool overlaid = o.machine != nullptr && !o.machine->is_trivial();
+  if (overlaid && !hmm_model) {
+    throw PreconditionError(
+        "--machine topologies with per-DMM overrides or links require the "
+        "hmm model");
+  }
+  std::optional<MachineOverlay> overlay;
+  if (overlaid) overlay.emplace(o.machine->overlay());
+  const MachineOverlayScope overlay_scope(overlay ? &*overlay : nullptr);
+
+  const std::int64_t pd = overlaid ? o.machine->max_threads_per_dmm()
+                                   : (hmm_model ? o.p / o.d : 0);
+  if (hmm_model && !overlaid && (o.p % o.d != 0 || pd < 1)) {
     throw PreconditionError("--p must be a positive multiple of --d");
   }
 

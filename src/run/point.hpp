@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "alg/workload.hpp"
 #include "machine/observer.hpp"
+#include "machine/topology_spec.hpp"
 
 namespace hmm::run {
 
@@ -32,6 +34,15 @@ struct Point {
   /// Runner-local like --jobs: not part of a sweep's identity, so shard
   /// fingerprints and CSV rows never record it.
   std::int64_t threads = 1;
+  /// Declarative machine topology (--machine=FILE), already resolved to
+  /// the flat axes above by the frontend (p = total threads, d = total
+  /// DMMs, w = width, l = global latency).  null or a TRIVIAL spec run
+  /// the untouched flag path — byte-identity between a flag run and its
+  /// synthesized JSON is by construction.  A non-trivial spec registers
+  /// a MachineOverlay around the dispatch (hmm model only) so the span
+  /// drivers build the heterogeneous/multi-HMM machine.  Shared because
+  /// every point of a sweep references one parsed spec across workers.
+  std::shared_ptr<const topo::TopologySpec> machine;
 };
 
 /// What one executed point reports back.

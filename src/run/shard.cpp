@@ -119,6 +119,13 @@ std::string GridSpec::canonical() const {
   s += fast_forward ? '1' : '0';
   s += "|analyze=";
   s += analyze ? '1' : '0';
+  // Topology digest: appended ONLY when non-empty so every pre-topology
+  // grid keeps its historical fingerprint, and a trivial --machine file
+  // (machine == "") fingerprints identically to its flag spelling.
+  if (!machine.empty()) {
+    s += "|machine=";
+    s += machine;
+  }
   return s;
 }
 
@@ -145,10 +152,22 @@ Manifest plan_manifest(const GridSpec& spec, std::int64_t shards,
     entry.shard = i;
     entry.grid_points = ShardPlan{i, shards}.count(manifest.grid_points);
     entry.argv = {tool, spec.algorithm, "--model", spec.model,
-                  "--n", join(spec.n), "--m", join(spec.m),
-                  "--p", join(spec.p), "--w", join(spec.w),
-                  "--l", join(spec.l), "--d", join(spec.d),
-                  "--seed", std::to_string(spec.seed)};
+                  "--n", join(spec.n), "--m", join(spec.m)};
+    if (spec.machine_path.empty()) {
+      const std::vector<std::int64_t>* shape[] = {&spec.p, &spec.w, &spec.l,
+                                                  &spec.d};
+      const char* shape_names[] = {"--p", "--w", "--l", "--d"};
+      for (int a = 0; a < 4; ++a) {
+        entry.argv.push_back(shape_names[a]);
+        entry.argv.push_back(join(*shape[a]));
+      }
+    } else {
+      // --machine pins p/w/l/d (and is mutually exclusive with them on
+      // the CLI), so the shard re-reads the file instead.
+      entry.argv.push_back("--machine=" + spec.machine_path);
+    }
+    entry.argv.push_back("--seed");
+    entry.argv.push_back(std::to_string(spec.seed));
     if (spec.metrics) entry.argv.push_back("--metrics");
     if (!spec.fast_forward) entry.argv.push_back("--fast-forward=off");
     if (spec.analyze) entry.argv.push_back("--analyze=plan");
@@ -196,6 +215,16 @@ std::string manifest_json(const Manifest& manifest) {
   out += manifest.grid.fast_forward ? "true" : "false";
   out += ",\n    \"analyze\": ";
   out += manifest.grid.analyze ? "true" : "false";
+  // Topology fields only when present: pre-topology manifests keep their
+  // historical bytes, and old readers never see unknown keys.
+  if (!manifest.grid.machine.empty()) {
+    out += ",\n    ";
+    field(out, "machine", manifest.grid.machine, true);
+  }
+  if (!manifest.grid.machine_path.empty()) {
+    out += ",\n    ";
+    field(out, "machine_path", manifest.grid.machine_path, true);
+  }
   out += ",\n    \"axes\": {\n";
   const std::vector<std::int64_t>* axes[] = {
       &manifest.grid.n, &manifest.grid.m, &manifest.grid.p,
@@ -248,6 +277,12 @@ Manifest parse_manifest_json(const std::string& text) {
   manifest.grid.metrics = grid.get("metrics").as_bool();
   manifest.grid.fast_forward = grid.get("fast_forward").as_bool();
   manifest.grid.analyze = grid.get("analyze").as_bool();
+  if (const json::Value* v = grid.find("machine")) {
+    manifest.grid.machine = v->as_string();
+  }
+  if (const json::Value* v = grid.find("machine_path")) {
+    manifest.grid.machine_path = v->as_string();
+  }
   const json::Value& axes = grid.get("axes");
   manifest.grid.n = parse_axis(axes, "n");
   manifest.grid.m = parse_axis(axes, "m");

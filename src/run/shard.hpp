@@ -73,6 +73,17 @@ struct GridSpec {
                               ///< though results are provably equal
   bool analyze = false;       ///< rows carry the three static-analyzer
                               ///< columns (hmmsim --analyze sweeps)
+  /// Topology digest: the canonical text of a NON-trivial --machine
+  /// spec (topo::TopologySpec::canonical()), empty for plain flags and
+  /// for trivial specs — a flag run and its equivalent JSON must share a
+  /// fingerprint, while any topology the flags cannot express must
+  /// change it.  Appended to canonical() only when non-empty so all
+  /// pre-topology fingerprints are unchanged.
+  std::string machine;
+  /// The --machine file path for manifest argv reconstruction.  Runner
+  /// input, not grid identity: NOT part of canonical() (two paths to the
+  /// same document fingerprint identically via `machine`).
+  std::string machine_path;
 
   /// Total grid points (product of the six axis sizes).
   std::int64_t points() const;

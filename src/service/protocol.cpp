@@ -77,6 +77,12 @@ json::Value run_request_json(const RunRequest& r) {
   o["threads"] = json::Value::make_int(r.threads);
   o["metrics"] = json::Value::make_bool(r.metrics);
   o["telemetry"] = json::Value::make_int(r.telemetry);
+  // The machine rides as an inline OBJECT (r.machine is its normalized
+  // text), so clients in other languages compose requests naturally.
+  if (!r.machine.empty()) o["machine"] = json::parse(r.machine);
+  if (!r.machine_preset.empty()) {
+    o["machine_preset"] = json::Value::make_string(r.machine_preset);
+  }
   return json::Value::make_object(std::move(o));
 }
 
@@ -112,6 +118,19 @@ RunRequest run_request_from_json(const json::Value& v) {
     if (r.telemetry < 0) {
       throw PreconditionError("run request: telemetry budget must be >= 0");
     }
+  }
+  if (const json::Value* f = v.find("machine")) {
+    if (f->kind() != json::Value::Kind::kObject) {
+      throw PreconditionError("run request: machine must be an object");
+    }
+    r.machine = json::to_string(*f);
+  }
+  if (const json::Value* f = v.find("machine_preset")) {
+    r.machine_preset = f->as_string();
+  }
+  if (!r.machine.empty() && !r.machine_preset.empty()) {
+    throw PreconditionError(
+        "run request: machine and machine_preset are mutually exclusive");
   }
   return r;
 }

@@ -61,6 +61,15 @@ struct RunRequest {
   /// --telemetry-budget cap and counts everything past the budget in
   /// drop frames (backpressure, never unbounded buffering).
   std::int64_t telemetry = 0;
+  /// Declarative machine topology: the NORMALIZED document text of a
+  /// TopologySpec (json::to_string form), carried on the wire as an
+  /// inline `machine` object.  Empty = the flat p/w/l/d axes above.
+  /// When set, the daemon derives p/w/l/d from the spec (the request's
+  /// own values for those axes are ignored; docs/TOPOLOGY.md).
+  std::string machine;
+  /// Server-side preset name (`machines/<name>.json` under the daemon's
+  /// --machines directory).  Mutually exclusive with `machine`.
+  std::string machine_preset;
 
   friend bool operator==(const RunRequest&, const RunRequest&) = default;
 };

@@ -15,6 +15,7 @@
 #include "core/error.hpp"
 #include "core/version.hpp"
 #include "machine/machine.hpp"
+#include "machine/topology_spec.hpp"
 #include "report/sweep_csv.hpp"
 #include "run/sweep.hpp"
 #include "telemetry/fanout.hpp"
@@ -26,6 +27,44 @@ namespace {
 
 std::vector<std::string> feature_list() {
   return std::vector<std::string>(kFeatures, kFeatures + kFeatureCount);
+}
+
+// Preset names index into the daemon's --machines directory, so they are
+// restricted to a single path component: [A-Za-z0-9._-]+ with no "..".
+bool valid_preset_name(const std::string& name) {
+  if (name.empty() || name.find("..") != std::string::npos) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Resolve a run request's machine topology (inline object or server-side
+// preset) to a spec, or null when the request uses the flat axes.
+// Throws TopologySpecError / PreconditionError; admission turns that
+// into an error frame.
+std::shared_ptr<const topo::TopologySpec> resolve_machine(
+    const RunRequest& request, const std::string& machines_dir) {
+  if (!request.machine_preset.empty()) {
+    if (machines_dir.empty()) {
+      throw PreconditionError(
+          "machine_preset: this daemon was started without --machines");
+    }
+    if (!valid_preset_name(request.machine_preset)) {
+      throw PreconditionError("machine_preset: invalid name \"" +
+                              request.machine_preset +
+                              "\" (want [A-Za-z0-9._-]+)");
+    }
+    return std::make_shared<const topo::TopologySpec>(topo::parse_topology_file(
+        machines_dir + "/" + request.machine_preset + ".json"));
+  }
+  if (!request.machine.empty()) {
+    return std::make_shared<const topo::TopologySpec>(
+        topo::parse_topology_text(request.machine, "run request machine"));
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -340,9 +379,33 @@ void Server::enqueue_run(const ConnectionPtr& conn, RunRequest request) {
            std::to_string(config_.client_budget) + " queued run requests)");
     return;
   }
+  // A declarative topology replaces the flat p/w/l/d axes: the spec is
+  // resolved ONCE at admission (bad presets and malformed documents are
+  // error frames, not queue entries) and its derived shape overwrites
+  // those axes before grid expansion, exactly as `hmmsim --machine` does
+  // locally.
+  std::shared_ptr<const topo::TopologySpec> machine;
+  try {
+    machine = resolve_machine(request, config_.machines_dir);
+  } catch (const std::exception& e) {
+    reject(e.what());
+    return;
+  }
+  if (machine != nullptr) {
+    if (!machine->is_trivial() && request.model != "hmm") {
+      reject("machine topologies with per-DMM overrides or links require "
+             "the hmm model");
+      return;
+    }
+    request.p = {machine->total_threads()};
+    request.w = {machine->width};
+    request.l = {machine->global_latency};
+    request.d = {machine->total_dmms()};
+  }
   QueuedRun job;
   job.conn = conn;
   job.grid = expand_grid(request);
+  for (run::Point& point : job.grid) point.machine = machine;
   // The request ships the client's --threads verbatim; admission is
   // where the daemon re-resolves it against ITS core count and --jobs
   // fan-out (same clamp the CLI applies locally).  Bit-identical rows

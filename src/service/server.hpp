@@ -57,6 +57,10 @@ struct ServerConfig {
   int client_budget = 8;  ///< per-client cap on queued run requests
   /// Hard cap a run request's `telemetry` budget is clamped to.
   std::int64_t max_telemetry_budget = 1 << 16;
+  /// Directory of machine-topology presets (`<name>.json`) that clients
+  /// may select by `machine_preset` name.  Empty = presets disabled;
+  /// inline `machine` objects are always accepted (docs/TOPOLOGY.md).
+  std::string machines_dir;
 };
 
 /// Persistent worker pool with warmed per-thread arenas/pattern caches.

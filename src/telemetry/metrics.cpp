@@ -23,8 +23,15 @@ double ratio(std::int64_t num, std::int64_t den) {
 }  // namespace
 
 void MetricsRegistry::on_memory_batch(const MemoryBatchEvent& event) {
-  bump(event.dmm_pricing ? acc_.conflict_degree : acc_.address_groups,
-       event.stages);
+  // Histogram the MODEL price (conflict degree / address groups): with a
+  // --machine topology event.stages also carries the interconnect
+  // surcharge, which the link_* counters report separately.
+  const std::int64_t degree =
+      event.profile != nullptr
+          ? (event.dmm_pricing ? event.profile->dmm_stages
+                               : event.profile->umm_stages)
+          : event.stages;
+  bump(event.dmm_pricing ? acc_.conflict_degree : acc_.address_groups, degree);
   const auto requests = static_cast<std::int64_t>(event.batch.size());
   if (event.space == MemorySpace::kShared) {
     ++acc_.shared_batches;
@@ -64,6 +71,8 @@ void MetricsRegistry::on_run_end(RunReport& report) {
   for (const ExecStats& e : report.exec) {
     acc_.exec_issue_slots += e.issue_slots;
   }
+  acc_.link_remote_batches += report.link.remote_batches;
+  acc_.link_stages += report.link.stages;
   report.metrics = snapshot();
 }
 

@@ -252,7 +252,8 @@ TEST(SweepCsv, HeaderVariants) {
   EXPECT_EQ(sweep_csv_header(true, true),
             "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds,"
             "conflict_degree_max,address_groups_max,memory_stall,"
-            "barrier_stall,latency_hiding,grid_index,shard,fingerprint");
+            "barrier_stall,latency_hiding,link_batches,link_stages,"
+            "grid_index,shard,fingerprint");
   EXPECT_EQ(sweep_csv_header(false, true, true),
             "algorithm,model,n,m,p,w,l,d,time,global_stages,ff_rounds,"
             "static_degree_max,static_groups_max,static_verdict,"
@@ -288,10 +289,12 @@ TEST(SweepCsv, MetricsColumnsMatchTheLegacyFormat) {
   s.memory_stall_cycles = 30;
   s.barrier_stall_cycles = 40;
   s.latency_hiding = 0.5;
+  s.link_remote_batches = 16;
+  s.link_stages = 3216;
   const SweepPoint point{"sum", "umm", 1, 2, 3, 4, 5, 6};
   const SweepMeasurement measured{7, 8, 9, &s};
   EXPECT_EQ(sweep_csv_row(point, measured),
-            "sum,umm,1,2,3,4,5,6,7,8,9,1,2,30,40,0.500000");
+            "sum,umm,1,2,3,4,5,6,7,8,9,1,2,30,40,0.500000,16,3216");
 }
 
 }  // namespace

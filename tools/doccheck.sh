@@ -71,7 +71,21 @@ if [ "$total" -eq 0 ]; then
   exit 1
 fi
 
-# Pass 2: run every block in its own scratch directory.
+# Pass 2: every shipped machine preset must parse, validate and print a
+# normalized document (exit 9 is the documented bad-machine code, so a
+# rotten preset fails here rather than in a user's first run).
+for preset in "$ROOT"/machines/*.json; do
+  [ -f "$preset" ] || continue
+  if ! hmmsim sum --machine="$preset" --dry-run > /dev/null; then
+    echo "doccheck: preset FAILED validation: $preset" >&2
+    exit 1
+  fi
+  echo "== doccheck preset $(basename "$preset") validates =="
+done
+
+# Pass 3: run every block in its own scratch directory.  Each scratch
+# directory gets a copy of machines/, so docs reference presets exactly
+# as a user checks them out (`hmmsim sum --machine=machines/gtx580.json`).
 failures=0
 ran=0
 for block in "$WORK"/block-*.sh; do
@@ -80,6 +94,7 @@ for block in "$WORK"/block-*.sh; do
   ran=$((ran + 1))
   dir="$WORK/run-$ran"
   mkdir "$dir"
+  cp -R "$ROOT/machines" "$dir/machines"
   echo "== doccheck [$ran/$total] $src =="
   if (cd "$dir" && sh -eu "$block" > "$dir/output.txt" 2>&1); then
     :

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -38,6 +39,7 @@
 #include "analysis/static/diff.hpp"
 #include "analysis/static/evaluate.hpp"
 #include "core/version.hpp"
+#include "machine/topology_spec.hpp"
 #include "report/analysis_static.hpp"
 #include "report/findings.hpp"
 #include "report/metrics.hpp"
@@ -69,6 +71,9 @@ struct Options {
   std::int64_t threads = 1;  ///< resolved engine workers for this run
   bool csv = false;
   bool fast_forward = true;
+  /// Resolved --machine topology; null for flag runs.  Trivial specs
+  /// only set the flat axes above, so they take the untouched flag path.
+  std::shared_ptr<const topo::TopologySpec> machine;
 };
 
 /// The command line before grid expansion: each axis is a value list.
@@ -98,6 +103,16 @@ struct Cli {
   bool metrics_json = false;                ///< --metrics=json
   std::string connect;                      ///< --connect=ADDR: client mode
   std::int64_t telemetry = 0;               ///< --telemetry=N (connect only)
+  std::string machine_path;                 ///< --machine=FILE
+  std::string machine_preset;               ///< --machine-preset=NAME (connect)
+  std::shared_ptr<const topo::TopologySpec> machine;  ///< resolved spec
+  bool dry_run = false;                     ///< --dry-run: print + exit
+  /// --p/--w/--l/--d given explicitly (a --machine file replaces these
+  /// axes, so mixing the two spellings is a usage error, not a merge).
+  bool p_given = false;
+  bool w_given = false;
+  bool l_given = false;
+  bool d_given = false;
   std::string emit_manifest_path;           ///< --emit-manifest=FILE
   std::int64_t shards = 0;                  ///< --shards=K (with emit)
   bool sharded = false;                     ///< --shard=i/K given
@@ -116,6 +131,7 @@ constexpr int kExitConflict = 5;
 constexpr int kExitRefuted = 6;   ///< static certificate exceeds a claim
 constexpr int kExitMismatch = 7;  ///< static and dynamic verdicts disagree
 constexpr int kExitDeadlock = 8;  ///< engine no-progress watchdog tripped
+constexpr int kExitBadMachine = 9;  ///< --machine file missing or invalid
 
 int usage(const char* argv0) {
   std::printf(
@@ -129,6 +145,19 @@ int usage(const char* argv0) {
       "  --w W[,W...]      width / warp size (default 32)\n"
       "  --l L[,L...]      global memory latency (default 400)\n"
       "  --d D[,D...]      number of DMMs for --model hmm (default 16)\n"
+      "  --machine=FILE    declarative machine topology: a JSON document\n"
+      "                    replacing the --p/--w/--l/--d flags (per-DMM\n"
+      "                    thread/latency/size overrides, multiple HMMs\n"
+      "                    joined by interconnect links; docs/TOPOLOGY.md\n"
+      "                    is the executable schema reference).  Excludes\n"
+      "                    explicit --p/--w/--l/--d; a missing or invalid\n"
+      "                    file exits 9.\n"
+      "  --dry-run         validate the machine description and print its\n"
+      "                    normalized document — with plain flags, print\n"
+      "                    the equivalent JSON — then exit 0 without\n"
+      "                    simulating\n"
+      "  --machine-preset=NAME  with --connect: run a preset served from\n"
+      "                    the daemon's --machines directory\n"
       "  --seed S          workload seed (default 1)\n"
       "  --jobs J          worker threads for sweeps; 0 = all cores "
       "(default 1)\n"
@@ -300,6 +329,14 @@ bool parse(int argc, char** argv, Cli& cli) {
     } else if (a.rfind("--connect=", 0) == 0) {
       cli.connect = a.substr(std::strlen("--connect="));
       if (cli.connect.empty()) return false;
+    } else if (a.rfind("--machine=", 0) == 0) {
+      cli.machine_path = a.substr(std::strlen("--machine="));
+      if (cli.machine_path.empty()) return false;
+    } else if (a.rfind("--machine-preset=", 0) == 0) {
+      cli.machine_preset = a.substr(std::strlen("--machine-preset="));
+      if (cli.machine_preset.empty()) return false;
+    } else if (a == "--dry-run") {
+      cli.dry_run = true;
     } else if (a.rfind("--telemetry=", 0) == 0) {
       std::vector<std::int64_t> one;
       if (!parse_list(a.c_str() + std::strlen("--telemetry="), one, 0) ||
@@ -359,10 +396,10 @@ bool parse(int argc, char** argv, Cli& cli) {
       std::vector<std::int64_t>* axis = nullptr;
       if (a == "--n") axis = &cli.n;
       else if (a == "--m") axis = &cli.m;
-      else if (a == "--p") axis = &cli.p;
-      else if (a == "--w") axis = &cli.w;
-      else if (a == "--l") axis = &cli.l;
-      else if (a == "--d") axis = &cli.d;
+      else if (a == "--p") { axis = &cli.p; cli.p_given = true; }
+      else if (a == "--w") { axis = &cli.w; cli.w_given = true; }
+      else if (a == "--l") { axis = &cli.l; cli.l_given = true; }
+      else if (a == "--d") { axis = &cli.d; cli.d_given = true; }
       else if (a == "--seed" || a == "--jobs" || a == "--threads") {
         std::vector<std::int64_t> one;
         if (!parse_list(v, one, 0)) return false;
@@ -379,6 +416,27 @@ bool parse(int argc, char** argv, Cli& cli) {
       else return false;
       if (axis && !parse_list(v, *axis)) return false;
     }
+  }
+  // A --machine file REPLACES the machine-shape axes; mixing the two
+  // spellings would silently make one of them win, so it is a usage
+  // error instead (docs/TOPOLOGY.md "Flags and JSON are one vocabulary").
+  if (!cli.machine_path.empty() &&
+      (cli.p_given || cli.w_given || cli.l_given || cli.d_given)) {
+    return false;
+  }
+  // Presets live on the daemon: the name is meaningless locally, and a
+  // preset already IS a machine description.
+  if (!cli.machine_preset.empty() &&
+      (cli.connect.empty() || !cli.machine_path.empty())) {
+    return false;
+  }
+  // --dry-run prints ONE machine document; sweep lists on the shape axes
+  // have no single JSON equivalent, and client mode never simulates
+  // locally anyway.
+  if (cli.dry_run &&
+      (!cli.connect.empty() || cli.p.size() != 1 || cli.w.size() != 1 ||
+       cli.l.size() != 1 || cli.d.size() != 1)) {
+    return false;
   }
   // --shards only modifies --emit-manifest, which in turn requires it;
   // half a sharding request is a usage error, as is asking one process
@@ -419,6 +477,14 @@ run::GridSpec grid_spec(const Cli& cli) {
   spec.metrics = cli.metrics;
   spec.fast_forward = cli.fast_forward;
   spec.analyze = cli.analyze;
+  // Only a topology the engine can OBSERVE joins the fingerprint: a
+  // trivial spec is the same machine as its flags, so it hashes the same
+  // (and pre-topology fingerprints stay valid).  The file path is argv
+  // reconstruction material for shard runners, never identity.
+  if (cli.machine != nullptr && !cli.machine->is_trivial()) {
+    spec.machine = cli.machine->canonical();
+  }
+  spec.machine_path = cli.machine_path;
   return spec;
 }
 
@@ -472,6 +538,7 @@ std::vector<Options> expand_grid(const Cli& cli) {
               o.seed = cli.seed;
               o.csv = cli.csv;
               o.fast_forward = cli.fast_forward;
+              o.machine = cli.machine;
               grid.push_back(std::move(o));
             }
   // --threads resolves once for the whole grid (0 = all cores), clamped
@@ -506,6 +573,7 @@ run::Point to_point(const Options& o) {
   point.seed = o.seed;
   point.fast_forward = o.fast_forward;
   point.threads = o.threads;
+  point.machine = o.machine;
   return point;
 }
 
@@ -544,13 +612,23 @@ void print_table(const Table& table) {
 int run_checked(const Options& o, const Cli& cli) {
   const analysis::CheckerConfig& cfg = cli.check_cfg;
   const bool hmm_model = o.model == "hmm";
-  const std::int64_t pd = hmm_model ? o.p / o.d : 0;
-  if (hmm_model && (o.p % o.d != 0 || pd < 1)) {
+  // A non-trivial --machine topology reshapes the DMMs through the same
+  // overlay run_point registers; the flat pd below then only sizes the
+  // machine's BASE shape (the overlay overrides per-DMM thread counts
+  // and takes the max of size floors).
+  const bool overlaid = o.machine != nullptr && !o.machine->is_trivial();
+  const std::int64_t pd =
+      hmm_model ? (overlaid ? o.machine->max_threads_per_dmm() : o.p / o.d)
+                : 0;
+  if (hmm_model && !overlaid && (o.p % o.d != 0 || pd < 1)) {
     throw PreconditionError("--p must be a positive multiple of --d");
   }
   if (o.algorithm != "sum" && o.algorithm != "sort") {
     throw PreconditionError("--check supports algorithms: sum, sort");
   }
+  std::optional<MachineOverlay> overlay;
+  if (overlaid) overlay.emplace(o.machine->overlay());
+  const MachineOverlayScope overlay_scope(overlay ? &*overlay : nullptr);
 
   // Paper-optimal cost bounds to certify against: the sum kernels are
   // fully conflict-free and coalesced (Theorem 7); every bitonic stage
@@ -847,6 +925,15 @@ int client_run(const Cli& cli) {
   // Ship the raw request; the daemon clamps against ITS cores and
   // --jobs, not the client's (the run executes over there).
   request.threads = cli.threads;
+  // A local --machine file travels as its normalized inline document;
+  // --machine-preset ships just the name and the daemon resolves it
+  // against its --machines directory.  Either way the daemon re-derives
+  // p/w/l/d from the spec, exactly as this process would locally.
+  if (!cli.machine_preset.empty()) {
+    request.machine_preset = cli.machine_preset;
+  } else if (cli.machine != nullptr) {
+    request.machine = cli.machine->document();
+  }
   client.send(request);
 
   std::int64_t grid_points = -1;
@@ -982,6 +1069,45 @@ int main(int argc, char** argv) {
       return client_control(connect_spec, verb);
     }
     if (!parse(argc, argv, cli)) return usage(argv[0]);
+
+    // Resolve --machine before anything consumes the axes: the spec
+    // REPLACES the flat tuple, so every downstream surface (sweeps,
+    // shards, --check, --connect, fingerprints) sees one vocabulary.
+    if (!cli.machine_path.empty()) {
+      cli.machine = std::make_shared<const topo::TopologySpec>(
+          topo::parse_topology_file(cli.machine_path));
+      cli.p = {cli.machine->total_threads()};
+      cli.w = {cli.machine->width};
+      cli.l = {cli.machine->global_latency};
+      cli.d = {cli.machine->total_dmms()};
+    }
+    if (cli.dry_run) {
+      // Validation mode: print the normalized document — for plain flags,
+      // the synthesized equivalent, which is how docs/TOPOLOGY.md
+      // demonstrates that flags and JSON are the same machine.
+      const topo::TopologySpec spec =
+          cli.machine != nullptr
+              ? *cli.machine
+              : topo::synthesize_topology("machine", cli.p[0], cli.w[0],
+                                          cli.l[0], cli.d[0]);
+      std::printf("%s\n", spec.document().c_str());
+      return 0;
+    }
+    if (cli.machine != nullptr && !cli.machine->is_trivial()) {
+      if (cli.model != "hmm") {
+        std::fprintf(stderr,
+                     "error: --machine topologies with per-DMM overrides or "
+                     "links require --model hmm\n");
+        return 2;
+      }
+      if (cli.analyze) {
+        std::fprintf(stderr,
+                     "error: --analyze prices the flat paper machine; it "
+                     "does not compose with a non-trivial --machine "
+                     "topology\n");
+        return 2;
+      }
+    }
     if (!cli.connect.empty()) return client_run(cli);
     const std::vector<Options> grid = expand_grid(cli);
 
@@ -1167,6 +1293,11 @@ int main(int argc, char** argv) {
       print_csv_row(grid[i], outcomes[i], cli.metrics);
     }
     return 0;
+  } catch (const topo::TopologySpecError& e) {
+    // A bad --machine file is a distinct, scriptable failure class
+    // (CI validates every preset with --dry-run; docs/TOPOLOGY.md).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitBadMachine;
   } catch (const DeadlockError& e) {
     // The engine's no-progress watchdog: its own exit code, so harnesses
     // can tell "the kernel hung" from any other failure.

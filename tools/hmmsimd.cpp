@@ -52,6 +52,9 @@ int usage() {
       "                       (default 8)\n"
       "  --telemetry-budget=N hard cap on a request's per-point telemetry\n"
       "                       budget (default 65536)\n"
+      "  --machines=DIR       serve machine-topology presets: a request's\n"
+      "                       machine_preset NAME loads DIR/NAME.json\n"
+      "                       (default: presets disabled)\n"
       "  --version            print the version and features\n\n"
       "Drain with SIGINT/SIGTERM or a {\"type\":\"drain\"} request "
       "(hmmsim --connect=ADDR --drain).\n",
@@ -98,6 +101,9 @@ int main(int argc, char** argv) {
       config.client_budget = static_cast<int>(value);
     } else if (parse_int(a, "--telemetry-budget=", value, 0)) {
       config.max_telemetry_budget = value;
+    } else if (a.rfind("--machines=", 0) == 0) {
+      config.machines_dir = a.substr(std::strlen("--machines="));
+      if (config.machines_dir.empty()) return usage();
     } else {
       return usage();
     }
